@@ -1,0 +1,65 @@
+// Command hvdbbench regenerates the paper's figures and claim
+// evaluations. Run with no flags to execute every experiment at full
+// size, or select one with -exp.
+//
+//	hvdbbench               # all experiments, full size
+//	hvdbbench -exp f4       # just the Figure 4 experiment
+//	hvdbbench -quick        # reduced sizes (smoke test)
+//	hvdbbench -list         # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hvdbbench: ")
+
+	var (
+		exp   = flag.String("exp", "", "experiment ID to run (default: all)")
+		quick = flag.Bool("quick", false, "run reduced configurations")
+		seed  = flag.Uint64("seed", 1, "PRNG seed")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiment.IDs() {
+			fmt.Printf("%-4s %s\n", id, experiment.Title(id))
+		}
+		return
+	}
+
+	opts := experiment.DefaultOptions()
+	if *quick {
+		opts = experiment.QuickOptions()
+	}
+	opts.Seed = *seed
+
+	ids := experiment.IDs()
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := experiment.Run(id, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("### %s — %s (%s)\n\n", id, experiment.Title(id), time.Since(start).Round(time.Millisecond))
+		for _, t := range tables {
+			if *csv {
+				fmt.Printf("## %s: %s\n%s\n", t.ID, t.Title, t.CSV())
+			} else {
+				fmt.Println(t)
+			}
+		}
+	}
+}

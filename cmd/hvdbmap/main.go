@@ -1,0 +1,79 @@
+// Command hvdbmap renders an ASCII snapshot of the HVDB backbone after
+// building and warming up a scenario: the VC grid with CH roles (a live
+// Figure 2), one hypercube's label occupancy (a live Figure 3), and the
+// mesh tier — before and, optionally, after failing part of the
+// backbone.
+//
+//	hvdbmap -nodes 200 -warmup 10 -fail 12 -cube 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/des"
+	"repro/internal/logicalid"
+	"repro/internal/scenario"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hvdbmap: ")
+
+	var (
+		seed  = flag.Uint64("seed", 1, "PRNG seed")
+		arena = flag.Float64("arena", 2000, "arena side in meters")
+		dim   = flag.Int("dim", 4, "hypercube dimension")
+		nodes = flag.Int("nodes", 200, "ordinary mobile nodes")
+		speed = flag.Float64("speed", 5, "max node speed m/s (0 = static)")
+		warm  = flag.Float64("warmup", 10, "warm-up simulated seconds")
+		fail  = flag.Int("fail", 0, "anchor CHs to fail after warm-up")
+		cube  = flag.Int("cube", 0, "hypercube to render in detail")
+	)
+	flag.Parse()
+
+	spec := scenario.DefaultSpec()
+	spec.Seed = *seed
+	spec.ArenaSize = *arena
+	spec.Dim = *dim
+	spec.Nodes = *nodes
+	if *speed <= 0 {
+		spec.Mobility = scenario.Static
+	} else {
+		spec.Mobility = scenario.Waypoint
+		spec.MaxSpeed = *speed
+	}
+	w, err := scenario.Build(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Start()
+	w.Sim.RunUntil(des.Time(*warm))
+
+	fmt.Println(viz.Summary(w.BB, w.CM))
+	fmt.Println()
+	fmt.Println("VC grid (B=border CH, i=inner CH, .=no CH):")
+	fmt.Print(viz.GridView(w.BB))
+	fmt.Println()
+	fmt.Print(viz.CubeView(w.BB, logicalid.HID(*cube)))
+	fmt.Println()
+	fmt.Println("mesh tier:")
+	fmt.Print(viz.MeshView(w.BB))
+
+	if *fail > 0 {
+		failed := w.FailRandomAnchors(*fail)
+		w.CM.Elect()
+		fmt.Printf("\n*** failed %d anchor CHs ***\n\n", len(failed))
+		fmt.Println(viz.Summary(w.BB, w.CM))
+		fmt.Println()
+		fmt.Print(viz.GridView(w.BB))
+		fmt.Println()
+		fmt.Print(viz.CubeView(w.BB, logicalid.HID(*cube)))
+		fmt.Println()
+		fmt.Println("mesh tier:")
+		fmt.Print(viz.MeshView(w.BB))
+	}
+	w.Stop()
+}

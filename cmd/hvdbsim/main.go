@@ -1,0 +1,161 @@
+// Command hvdbsim runs one HVDB simulation scenario from flags and
+// reports delivery and overhead metrics, tracing protocol events on
+// request.
+//
+// Example:
+//
+//	hvdbsim -nodes 300 -groups 2 -members 12 -speed 10 -packets 30 -trace multicast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/des"
+	"repro/internal/membership"
+	"repro/internal/network"
+	"repro/internal/radio"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hvdbsim: ")
+
+	var (
+		seed     = flag.Uint64("seed", 1, "PRNG seed")
+		arena    = flag.Float64("arena", 2000, "arena side in meters")
+		cell     = flag.Float64("cell", 250, "virtual circle tile side in meters")
+		dim      = flag.Int("dim", 4, "hypercube dimension")
+		nodes    = flag.Int("nodes", 200, "ordinary mobile nodes")
+		groups   = flag.Int("groups", 1, "multicast groups")
+		members  = flag.Int("members", 10, "members per group")
+		speed    = flag.Float64("speed", 5, "max node speed m/s (0 = static)")
+		packets  = flag.Int("packets", 20, "data packets per group")
+		payload  = flag.Int("payload", 512, "payload bytes per packet")
+		warm     = flag.Float64("warmup", 15, "warm-up simulated seconds")
+		loss     = flag.Float64("loss", 0, "per-transmission loss probability")
+		traceCat = flag.String("trace", "", "comma-separated trace categories (sim,mobility,radio,cluster,routes,membership,multicast)")
+	)
+	flag.Parse()
+
+	spec := scenario.DefaultSpec()
+	spec.Seed = *seed
+	spec.ArenaSize = *arena
+	spec.CellSize = *cell
+	spec.Dim = *dim
+	spec.Nodes = *nodes
+	spec.Groups = *groups
+	spec.MembersPerGroup = *members
+	spec.LossProb = *loss
+	if *speed <= 0 {
+		spec.Mobility = scenario.Static
+	} else {
+		spec.Mobility = scenario.Waypoint
+		spec.MinSpeed = 1
+		spec.MaxSpeed = *speed
+	}
+
+	w, err := scenario.Build(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *traceCat != "" {
+		var cats []trace.Category
+		for _, name := range strings.Split(*traceCat, ",") {
+			found := false
+			for c := trace.Category(0); c < trace.NumCategories; c++ {
+				if c.String() == strings.TrimSpace(name) {
+					cats = append(cats, c)
+					found = true
+				}
+			}
+			if !found {
+				log.Fatalf("unknown trace category %q", name)
+			}
+		}
+		tr := trace.NewWriter(os.Stderr, cats...)
+		w.Net.SetTracer(tr)
+		w.CM.SetTracer(tr)
+		w.BB.SetTracer(tr)
+		w.MS.SetTracer(tr)
+		w.MC.SetTracer(tr)
+	}
+
+	fmt.Printf("%s | grid %dx%d VCs, %d hypercubes of dim %d\n",
+		w.Net, w.Grid.Cols(), w.Grid.Rows(), w.Scheme.NumHypercubes(), w.Scheme.Dim())
+
+	w.Start()
+	w.WarmUp(des.Duration(*warm))
+	fmt.Printf("warm-up done at t=%.1fs: %d clusters headed\n", float64(w.Sim.Now()), len(w.CM.Heads()))
+
+	// Traffic phase: CBR per group from a random source.
+	type groupRun struct {
+		g        membership.Group
+		expected int
+		delays   stats.Sample
+	}
+	runs := make([]*groupRun, spec.Groups)
+	delivered := 0
+	w.MC.OnDeliver(func(member network.NodeID, uid uint64, born des.Time, hops int) {
+		delivered++
+		for _, r := range runs {
+			if r != nil {
+				r.delays.Add(float64(w.Sim.Now() - born))
+				break
+			}
+		}
+	})
+	for g := 0; g < spec.Groups; g++ {
+		g := membership.Group(g)
+		run := &groupRun{g: g}
+		runs[g] = run
+		src := w.RandomSource()
+		w.CBR(func() uint64 {
+			uid := w.MC.Send(src, g, *payload)
+			if uid != 0 {
+				run.expected += len(w.Members[g])
+			}
+			return uid
+		}, 0.5, *packets)
+	}
+	w.Sim.RunUntil(w.Sim.Now() + des.Duration(*packets)*0.5 + 5)
+	w.Stop()
+
+	expected := 0
+	var allDelays stats.Sample
+	for _, r := range runs {
+		expected += r.expected
+		for _, d := range r.delays.Values() {
+			allDelays.Add(d)
+		}
+	}
+	st := w.Net.Stats()
+	elapsed := float64(w.Sim.Now()) - *warm
+	fmt.Printf("\nresults at t=%.1fs:\n", float64(w.Sim.Now()))
+	if expected > 0 {
+		fmt.Printf("  delivery ratio      %.1f%% (%d of %d member deliveries)\n",
+			100*float64(delivered)/float64(expected), delivered, expected)
+	}
+	fmt.Printf("  mean delay          %.2f ms (p95 %.2f ms)\n",
+		allDelays.Mean()*1000, allDelays.Percentile(95)*1000)
+	fmt.Printf("  control overhead    %.0f bytes/node/s\n",
+		float64(st.ControlBytes)/float64(w.Net.Len())/elapsed)
+	fmt.Printf("  data traffic        %d bytes total\n", st.DataBytes)
+	fmt.Printf("  forwarding fairness %.3f (Jain index)\n", stats.JainIndex(w.Net.ForwardLoads()))
+	var totalJ, maxJ float64
+	for _, n := range w.Net.Nodes() {
+		j := radio.DefaultEnergy.Consumed(n.TxBytes, n.RxBytes)
+		totalJ += j
+		if j > maxJ {
+			maxJ = j
+		}
+	}
+	fmt.Printf("  radio energy        %.3f J total, %.3f J at the busiest node\n", totalJ, maxJ)
+	fmt.Printf("  cluster stability   %d CH changes over %d elections\n", w.CM.Changes(), w.CM.Elections())
+}

@@ -1,0 +1,32 @@
+package hvdb_test
+
+import (
+	"fmt"
+	"log"
+
+	hvdb "repro"
+)
+
+// Example reproduces the paper's running configuration and multicasts
+// one packet through the full HVDB stack.
+func Example() {
+	spec := hvdb.DefaultSpec()
+	spec.Nodes = 60
+	spec.Groups = 1
+	spec.MembersPerGroup = 5
+	spec.Mobility = hvdb.Static
+
+	w, err := hvdb.Build(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w.Start()
+	w.WarmUp(12)
+
+	uid := w.MC.Send(w.RandomSource(), 0, 256)
+	w.Sim.RunUntil(w.Sim.Now() + 5)
+	w.Stop()
+
+	fmt.Println("delivered to all members:", w.MC.DeliveryCount(uid) == len(w.Members[0]))
+	// Output: delivered to all members: true
+}

@@ -1,0 +1,143 @@
+// Package hvdb is a reproduction of "A Novel QoS Multicast Model in
+// Mobile Ad Hoc Networks" (Wang, Cao, Zhang, Chan, Wu — IPDPS 2005): the
+// logical Hypercube-based Virtual Dynamic Backbone (HVDB) for QoS-aware
+// multicast in large-scale MANETs, together with the discrete-event
+// MANET simulator it is evaluated on and the related schemes it is
+// compared against.
+//
+// This root package is the public facade. Typical use:
+//
+//	spec := hvdb.DefaultSpec()
+//	spec.Nodes = 400
+//	spec.Groups = 2
+//	w, err := hvdb.Build(spec)
+//	if err != nil { ... }
+//	w.Start()                      // clustering + route + membership planes
+//	w.WarmUp(15)                   // simulated seconds
+//	uid := w.MC.Send(w.RandomSource(), 0, 512)
+//	w.Sim.RunUntil(w.Sim.Now() + 5)
+//	fmt.Println(w.MC.DeliveryCount(uid))
+//
+// The experiment harness that regenerates every figure of the paper and
+// quantifies each of its claims is exposed through RunExperiment; see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// results.
+//
+// Architecture (bottom-up):
+//
+//	internal/des        discrete-event kernel
+//	internal/geom       plane geometry
+//	internal/xrand      deterministic PRNG
+//	internal/mobility   random waypoint / walk / Gauss-Markov / group
+//	internal/radio      unit-disc radio, delay and bandwidth model
+//	internal/network    nodes, packets, neighbor index, accounting
+//	internal/gps        positioning service (oracle + noisy)
+//	internal/vcgrid     virtual circles (paper §3, Fig. 2 geometry)
+//	internal/cluster    mobility-prediction clustering ([23]; paper §3)
+//	internal/hypercube  labels, e-cube routing, disjoint paths, trees
+//	internal/logicalid  CHID/HNID/HID/MNID identifier algebra (§4.1)
+//	internal/meshtier   incomplete 2-D mesh tier (§3)
+//	internal/georoute   greedy + perimeter location-based unicast ([11])
+//	internal/core       the HVDB backbone + Figure 4 route maintenance
+//	internal/membership Figure 5 summary-based membership update
+//	internal/multicast  Figure 6 logical location-based multicast
+//	internal/baseline   flooding, DSM-, PBM-, SPBM-, CBT-like schemes
+//	internal/scenario   world construction, traffic, failures
+//	internal/experiment figure/claim regeneration harness
+package hvdb
+
+import (
+	"io"
+
+	"repro/internal/des"
+	"repro/internal/experiment"
+	"repro/internal/membership"
+	"repro/internal/network"
+	"repro/internal/qos"
+	"repro/internal/scenario"
+)
+
+// Spec declares a simulation scenario; see scenario.Spec for the field
+// documentation.
+type Spec = scenario.Spec
+
+// World is a fully wired simulation: network, clustering, backbone,
+// membership, and multicast planes.
+type World = scenario.World
+
+// Group identifies a multicast group.
+type Group = membership.Group
+
+// NodeID identifies a node.
+type NodeID = network.NodeID
+
+// Time is simulated seconds.
+type Time = des.Time
+
+// MobilityKind selects a movement model in Spec.
+type MobilityKind = scenario.MobilityKind
+
+// Mobility models for Spec.Mobility.
+const (
+	Static      = scenario.Static
+	Waypoint    = scenario.Waypoint
+	Walk        = scenario.Walk
+	GaussMarkov = scenario.GaussMarkov
+	GroupMotion = scenario.GroupMotion
+	Manhattan   = scenario.Manhattan
+)
+
+// DefaultSpec returns the paper's running example configuration: a
+// 2000x2000 m arena of 8x8 virtual circles forming four 4-dimensional
+// logical hypercubes, with anchor CHs and 200 mobile nodes.
+func DefaultSpec() Spec { return scenario.DefaultSpec() }
+
+// Build wires a world from a spec.
+func Build(spec Spec) (*World, error) { return scenario.Build(spec) }
+
+// QoSManager admits and releases bandwidth-reserving multicast sessions
+// over a world's backbone (hard IntServ-like or soft DiffServ-like
+// admission; see internal/qos).
+type QoSManager = qos.Manager
+
+// QoS admission modes.
+const (
+	HardQoS = qos.Hard
+	SoftQoS = qos.Soft
+)
+
+// NewQoS returns a session manager over the world's protocol stack.
+func NewQoS(w *World) *QoSManager { return qos.NewManager(w.BB, w.MS, w.MC) }
+
+// SessionID identifies an admitted QoS session.
+type SessionID = qos.SessionID
+
+// ExperimentIDs lists the available experiments (f1..f6 regenerate the
+// paper's figures; c1..c6 quantify its claims).
+func ExperimentIDs() []string { return experiment.IDs() }
+
+// ExperimentTitle describes one experiment.
+func ExperimentTitle(id string) string { return experiment.Title(id) }
+
+// ExperimentOptions sizes an experiment run.
+type ExperimentOptions = experiment.Options
+
+// FullOptions runs experiments at the size recorded in EXPERIMENTS.md.
+func FullOptions() ExperimentOptions { return experiment.DefaultOptions() }
+
+// QuickOptions runs reduced experiments suitable for smoke tests.
+func QuickOptions() ExperimentOptions { return experiment.QuickOptions() }
+
+// RunExperiment executes one experiment and writes its tables to w.
+func RunExperiment(w io.Writer, id string, o ExperimentOptions) error {
+	tables, err := experiment.Run(id, o)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		if _, err := io.WriteString(w, t.String()+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

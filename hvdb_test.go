@@ -1,0 +1,65 @@
+package hvdb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeBuildAndRun(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Nodes = 60
+	spec.Groups = 1
+	spec.MembersPerGroup = 6
+	spec.Mobility = Static
+	w, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	w.WarmUp(12)
+	delivered := 0
+	w.MC.OnDeliver(func(NodeID, uint64, Time, int) { delivered++ })
+	uid := w.MC.Send(w.RandomSource(), 0, 256)
+	if uid == 0 {
+		t.Fatal("send failed")
+	}
+	w.Sim.RunUntil(w.Sim.Now() + 5)
+	w.Stop()
+	if delivered == 0 {
+		t.Fatal("no deliveries through the facade")
+	}
+}
+
+func TestFacadeExperimentList(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 12 {
+		t.Fatalf("experiments %d want 12", len(ids))
+	}
+	for _, id := range ids {
+		if ExperimentTitle(id) == "" {
+			t.Fatalf("no title for %s", id)
+		}
+	}
+}
+
+func TestFacadeRunExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := RunExperiment(&b, "f3", QuickOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "0000 0001 0100 0101") {
+		t.Fatalf("figure 3 output missing label row:\n%s", b.String())
+	}
+	if err := RunExperiment(&b, "nope", QuickOptions()); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestFacadeOptions(t *testing.T) {
+	if FullOptions().Scale != 1 {
+		t.Fatal("full options scale")
+	}
+	if QuickOptions().Scale >= 1 {
+		t.Fatal("quick options should be reduced")
+	}
+}

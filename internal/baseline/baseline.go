@@ -1,0 +1,174 @@
+// Package baseline reimplements the multicast schemes the paper compares
+// its design against in §2.2, at the fidelity the comparison experiments
+// need (delivery behaviour, control-overhead scaling, forwarding-load
+// shape):
+//
+//   - Flooding — network-wide broadcast with duplicate suppression; the
+//     zero-state baseline every MANET paper includes.
+//   - DSM-like (Basagni et al. [1]) — every node periodically floods its
+//     position; a sender computes a snapshot multicast tree locally and
+//     source-routes along it.
+//   - PBM-like (Mauve et al. [17]) — greedy position-based multicast:
+//     the sender knows member positions, forwarding nodes split the
+//     destination list among neighbors making progress.
+//   - SPBM-like (Transier et al. [28]) — quad-tree hierarchical
+//     membership aggregation with geographic forwarding toward squares
+//     containing members.
+//   - CBT-like — a rendezvous (core-based) shortest-path tree, included
+//     to quantify the paper's claim that tree-based backbones develop
+//     bottleneck hot spots that the hypercube's symmetry avoids.
+//
+// Substitution note (documented in DESIGN.md): the periodic control
+// planes transmit real packets through the simulator, so overhead and
+// contention are charged faithfully; the *contents* of those messages
+// (positions, membership) are then read from the simulation oracle when
+// computing trees, rather than re-parsed from per-node caches. The
+// protocols' costs and failure modes (stale snapshots under mobility,
+// sender-side membership knowledge, hot-spot cores) are preserved, which
+// is what the paper's comparison is about.
+package baseline
+
+import (
+	"repro/internal/des"
+	"repro/internal/network"
+)
+
+// Group identifies a multicast group (same value space as
+// membership.Group).
+type Group int
+
+// DeliverFunc observes one member delivery.
+type DeliverFunc func(member network.NodeID, uid uint64, born des.Time, hops int)
+
+// Protocol is the common surface of all baseline multicast schemes.
+type Protocol interface {
+	// Name identifies the scheme in experiment output.
+	Name() string
+	// Join and Leave maintain group membership.
+	Join(id network.NodeID, g Group)
+	Leave(id network.NodeID, g Group)
+	// Send multicasts a payload from src; it returns the packet UID or 0.
+	Send(src network.NodeID, g Group, payloadSize int) uint64
+	// OnDeliver registers the delivery observer.
+	OnDeliver(f DeliverFunc)
+	// Start and Stop control periodic control planes (no-ops for
+	// stateless schemes).
+	Start()
+	Stop()
+}
+
+// membershipStore is the shared join/leave bookkeeping.
+type membershipStore struct {
+	joined map[network.NodeID]map[Group]bool
+}
+
+func newMembershipStore() *membershipStore {
+	return &membershipStore{joined: make(map[network.NodeID]map[Group]bool)}
+}
+
+func (m *membershipStore) join(id network.NodeID, g Group) {
+	if m.joined[id] == nil {
+		m.joined[id] = make(map[Group]bool)
+	}
+	m.joined[id][g] = true
+}
+
+func (m *membershipStore) leave(id network.NodeID, g Group) {
+	delete(m.joined[id], g)
+}
+
+func (m *membershipStore) isMember(id network.NodeID, g Group) bool {
+	return m.joined[id][g]
+}
+
+// members returns the live members of g in ID order.
+func (m *membershipStore) members(net *network.Network, g Group) []network.NodeID {
+	var out []network.NodeID
+	for _, n := range net.Nodes() {
+		if n.Up() && m.joined[n.ID][g] {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// deliveryLog is shared per-uid per-member dedup plus callback dispatch.
+type deliveryLog struct {
+	seen      map[uint64]map[network.NodeID]bool
+	onDeliver DeliverFunc
+	delivered uint64
+}
+
+func newDeliveryLog() *deliveryLog {
+	return &deliveryLog{seen: make(map[uint64]map[network.NodeID]bool)}
+}
+
+func (d *deliveryLog) record(member network.NodeID, uid uint64, born des.Time, hops int) {
+	if d.seen[uid] == nil {
+		d.seen[uid] = make(map[network.NodeID]bool)
+	}
+	if d.seen[uid][member] {
+		return
+	}
+	d.seen[uid][member] = true
+	d.delivered++
+	if d.onDeliver != nil {
+		d.onDeliver(member, uid, born, hops)
+	}
+}
+
+func (d *deliveryLog) count(uid uint64) int { return len(d.seen[uid]) }
+
+// unitDiscBFS computes a BFS tree over the current unit-disc graph from
+// root, as parent pointers, visiting only live nodes. It is the
+// snapshot-topology computation DSM performs at each sender and the CBT
+// core uses for its shared tree.
+func unitDiscBFS(net *network.Network, root network.NodeID) map[network.NodeID]network.NodeID {
+	parent := map[network.NodeID]network.NodeID{root: root}
+	frontier := []network.NodeID{root}
+	for len(frontier) > 0 {
+		var next []network.NodeID
+		for _, u := range frontier {
+			for _, v := range net.Neighbors(u) {
+				if _, ok := parent[v]; ok {
+					continue
+				}
+				parent[v] = u
+				next = append(next, v)
+			}
+		}
+		frontier = next
+	}
+	return parent
+}
+
+// prunedTree reduces a BFS parent map to the subtree spanning root and
+// the given destinations: child -> parent, root maps to itself.
+func prunedTree(parent map[network.NodeID]network.NodeID, root network.NodeID, dests []network.NodeID) map[network.NodeID]network.NodeID {
+	tree := map[network.NodeID]network.NodeID{root: root}
+	for _, d := range dests {
+		if _, ok := parent[d]; !ok {
+			continue // unreachable in the snapshot
+		}
+		for cur := d; ; {
+			if _, ok := tree[cur]; ok {
+				break
+			}
+			p := parent[cur]
+			tree[cur] = p
+			cur = p
+		}
+	}
+	return tree
+}
+
+// childrenOf inverts a parent map at one node.
+func childrenOf(tree map[network.NodeID]network.NodeID, u network.NodeID) []network.NodeID {
+	var out []network.NodeID
+	for child, parent := range tree {
+		if parent == u && child != u {
+			out = append(out, child)
+		}
+	}
+	return out
+}

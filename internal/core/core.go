@@ -1,0 +1,495 @@
+// Package core assembles the paper's primary contribution: the logical
+// Hypercube-based Virtual Dynamic Backbone (HVDB). It binds the mobile
+// node tier (package cluster) to the hypercube tier (packages hypercube
+// and logicalid) and the mesh tier (package meshtier), classifies
+// cluster heads into border (BCH) and inner (ICH) roles, and runs the
+// paper's Figure 4 algorithm — proactive local logical route
+// maintenance — in which every CH periodically beacons its local
+// logical route state (delay and bandwidth per route) to its
+// 1-logical-hop neighbor CHs and accumulates QoS-annotated routes to
+// every CH at most K logical hops away.
+//
+// # Logical links
+//
+// Per §4.1, a 1-logical-hop route "connects two CHs" and "does not rely
+// on any other CH to route packets along the link". In the VC geometry
+// this yields two kinds of logical links, both visible in the paper's
+// Figure 3 and in its worked example for node 1000:
+//
+//   - grid links between CHs of edge-adjacent VCs (e.g. 1000-0010),
+//     including the BCH-BCH links crossing hypercube borders, and
+//   - hypercube links between CHs whose labels differ in one bit
+//     (e.g. the "additional logical links" 1000-1100 and 1000-0000).
+//
+// A logical link is realized by location-based unicast (package
+// georoute) through ordinary cluster members, which is exactly why it
+// relies on no intermediate CH.
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/des"
+	"repro/internal/georoute"
+	"repro/internal/hypercube"
+	"repro/internal/logicalid"
+	"repro/internal/meshtier"
+	"repro/internal/network"
+	"repro/internal/trace"
+	"repro/internal/vcgrid"
+)
+
+// BeaconKind is the packet kind of Figure 4 route beacons.
+const BeaconKind = "hvdb-beacon"
+
+// Config parameterizes the backbone.
+type Config struct {
+	// K is the local route horizon in logical hops (the paper's k,
+	// "e.g. k = 4").
+	K int
+	// BeaconPeriod is the Figure 4 beacon interval in simulated seconds.
+	BeaconPeriod des.Duration
+	// RouteTTL expires table entries not refreshed for this long.
+	RouteTTL des.Duration
+	// MaxRoutesPerDest bounds how many distinct-next-hop routes are kept
+	// per destination; multiple routes are the paper's availability
+	// mechanism ("multiple candidate logical routes become available
+	// immediately").
+	MaxRoutesPerDest int
+	// BeaconHeader and BeaconEntry size the on-air beacon in bytes.
+	BeaconHeader, BeaconEntry int
+}
+
+// DefaultConfig mirrors the paper's running example: k = 4, with beacon
+// cadence slower than cluster beacons (route state changes at CH-churn
+// speed, not node-motion speed).
+func DefaultConfig() Config {
+	return Config{
+		K:                4,
+		BeaconPeriod:     2.0,
+		RouteTTL:         6.5,
+		MaxRoutesPerDest: 3,
+		BeaconHeader:     16,
+		BeaconEntry:      12,
+	}
+}
+
+// Route is one QoS-annotated logical route table entry.
+type Route struct {
+	Dest    logicalid.CHID
+	NextHop logicalid.CHID
+	// Hops is the logical hop count.
+	Hops int
+	// Delay is the accumulated measured one-way delay in seconds.
+	Delay float64
+	// Bandwidth is the bottleneck free bandwidth along the route in
+	// bits/second.
+	Bandwidth float64
+	// Expires is the simulation time the entry goes stale.
+	Expires des.Time
+}
+
+// beaconEntry is the wire form of one advertised route.
+type beaconEntry struct {
+	Dest      logicalid.CHID
+	Hops      int
+	Delay     float64
+	Bandwidth float64
+}
+
+// beaconPayload is the wire form of a Figure 4 beacon.
+type beaconPayload struct {
+	FromSlot logicalid.CHID
+	Sent     des.Time
+	FreeBW   float64
+	Entries  []beaconEntry
+}
+
+// routeTable holds the logical routes known at one CH slot (VC). The
+// table belongs to the slot rather than the node so that CH handover
+// within a VC keeps the accumulated state, mirroring the paper's
+// non-dynamic-backbone property.
+type routeTable struct {
+	routes map[logicalid.CHID][]Route // by destination
+}
+
+func newRouteTable() *routeTable {
+	return &routeTable{routes: make(map[logicalid.CHID][]Route)}
+}
+
+// Backbone is the HVDB instance over one network.
+type Backbone struct {
+	net    *network.Network
+	cm     *cluster.Manager
+	scheme *logicalid.Scheme
+	geo    *georoute.Router
+	cfg    Config
+	tr     trace.Tracer
+
+	tables map[logicalid.CHID]*routeTable
+	inner  *network.Mux // dispatch for logically-routed inner packets
+
+	ticker  *des.Ticker
+	beacons uint64
+}
+
+// New assembles a backbone. The mux must already be bound to the
+// network's nodes; the backbone installs the geo-routing layer and its
+// beacon handling on it. Invalid configs fall back to DefaultConfig.
+func New(net *network.Network, mux *network.Mux, cm *cluster.Manager, scheme *logicalid.Scheme, cfg Config) *Backbone {
+	if cfg.K <= 0 || cfg.BeaconPeriod <= 0 {
+		cfg = DefaultConfig()
+	}
+	b := &Backbone{
+		net:    net,
+		cm:     cm,
+		scheme: scheme,
+		cfg:    cfg,
+		tr:     trace.Nop,
+		tables: make(map[logicalid.CHID]*routeTable),
+		inner:  network.NewMux(),
+	}
+	b.geo = georoute.Attach(net, mux)
+	b.geo.DeliverFallback(func(n *network.Node, pkt *network.Packet) {
+		b.inner.Dispatch(n, pkt.Src, pkt)
+	})
+	b.inner.Handle(BeaconKind, b.onBeacon)
+	return b
+}
+
+// SetTracer installs a tracer; nil resets to no-op.
+func (b *Backbone) SetTracer(t trace.Tracer) {
+	if t == nil {
+		t = trace.Nop
+	}
+	b.tr = t
+	b.geo.SetTracer(t)
+}
+
+// Geo exposes the location-based unicast layer (baselines reuse it).
+func (b *Backbone) Geo() *georoute.Router { return b.geo }
+
+// Scheme returns the logical identifier scheme.
+func (b *Backbone) Scheme() *logicalid.Scheme { return b.scheme }
+
+// Clusters returns the clustering manager.
+func (b *Backbone) Clusters() *cluster.Manager { return b.cm }
+
+// Net returns the underlying network.
+func (b *Backbone) Net() *network.Network { return b.net }
+
+// Config returns the active configuration.
+func (b *Backbone) Config() Config { return b.cfg }
+
+// HandleInner registers an upper-layer consumer (membership summaries,
+// multicast data) for logically-routed packets of the given kind.
+func (b *Backbone) HandleInner(kind string, h network.Handler) {
+	b.inner.Handle(kind, h)
+}
+
+// Start begins periodic Figure 4 beaconing.
+func (b *Backbone) Start() {
+	b.ticker = b.net.Sim().Every(b.cfg.BeaconPeriod, b.cfg.BeaconPeriod, b.BeaconRound)
+}
+
+// Stop cancels beaconing.
+func (b *Backbone) Stop() {
+	if b.ticker != nil {
+		b.ticker.Stop()
+	}
+}
+
+// CHNodeOf returns the node currently heading the VC of the given slot,
+// or network.NoNode.
+func (b *Backbone) CHNodeOf(slot logicalid.CHID) network.NodeID {
+	return b.cm.CHOf(b.scheme.Grid().FromIndex(int(slot)))
+}
+
+// SlotOfNode returns the CH slot a node currently heads, or -1.
+func (b *Backbone) SlotOfNode(id network.NodeID) logicalid.CHID {
+	if !b.cm.IsCH(id) {
+		return -1
+	}
+	return logicalid.CHID(b.scheme.Grid().Index(b.cm.VCOfNode(id)))
+}
+
+// IsBCH reports whether the slot's CH is a border cluster head.
+func (b *Backbone) IsBCH(slot logicalid.CHID) bool {
+	return b.scheme.IsBorder(b.scheme.Grid().FromIndex(int(slot)))
+}
+
+// Cube materializes the current (possibly incomplete) logical hypercube
+// h from the live CH set.
+func (b *Backbone) Cube(h logicalid.HID) *hypercube.Cube {
+	c := hypercube.New(b.scheme.Dim())
+	for _, vc := range b.scheme.BlockVCs(h) {
+		if b.cm.CHOf(vc) != network.NoNode {
+			c.Add(b.scheme.PlaceOf(vc).HNID)
+		}
+	}
+	return c
+}
+
+// Mesh materializes the current mesh tier: a mesh node is actual "only
+// when a logical hypercube exists in it", i.e. at least one CH in the
+// block.
+func (b *Backbone) Mesh() *meshtier.Mesh {
+	cols, rows := b.scheme.MeshSize()
+	m := meshtier.New(cols, rows)
+	for h := 0; h < b.scheme.NumHypercubes(); h++ {
+		for _, vc := range b.scheme.BlockVCs(logicalid.HID(h)) {
+			if b.cm.CHOf(vc) != network.NoNode {
+				m.Add(h)
+				break
+			}
+		}
+	}
+	return m
+}
+
+// LogicalNeighbors returns the CH slots one logical hop from the given
+// slot under the current CH set: grid-adjacent VCs with CHs (including
+// across hypercube borders) plus same-block hypercube-label neighbors.
+func (b *Backbone) LogicalNeighbors(slot logicalid.CHID) []logicalid.CHID {
+	grid := b.scheme.Grid()
+	vc := grid.FromIndex(int(slot))
+	place := b.scheme.PlaceOf(vc)
+	seen := map[logicalid.CHID]bool{}
+	var out []logicalid.CHID
+	add := func(w vcgrid.VC) {
+		if !grid.Valid(w) || b.cm.CHOf(w) == network.NoNode {
+			return
+		}
+		s := logicalid.CHID(grid.Index(w))
+		if s != slot && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, w := range grid.Adjacent(vc) {
+		add(w)
+	}
+	for _, nb := range hypercube.AllNeighbors(place.HNID, b.scheme.Dim()) {
+		add(b.scheme.VCAt(place.HID, nb))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SendLogical forwards an inner packet one logical hop from the CH of
+// fromSlot to the CH of toSlot using location-based unicast through
+// cluster members. It reports whether transmission started.
+func (b *Backbone) SendLogical(fromSlot, toSlot logicalid.CHID, inner *network.Packet) bool {
+	from := b.CHNodeOf(fromSlot)
+	to := b.CHNodeOf(toSlot)
+	if from == network.NoNode || to == network.NoNode {
+		return false
+	}
+	target := b.scheme.Grid().Center(b.scheme.Grid().FromIndex(int(toSlot)))
+	return b.geo.Send(from, target, to, inner)
+}
+
+// table returns (creating if needed) the route table of a slot.
+func (b *Backbone) table(slot logicalid.CHID) *routeTable {
+	t, ok := b.tables[slot]
+	if !ok {
+		t = newRouteTable()
+		b.tables[slot] = t
+	}
+	return t
+}
+
+// BeaconRound performs one Figure 4 step 1 for every current CH: send
+// the local logical route information to all 1-logical-hop neighbor
+// CHs. Exported so experiments can drive rounds directly.
+func (b *Backbone) BeaconRound() {
+	now := b.net.Sim().Now()
+	for vc, ch := range b.cm.Heads() {
+		slot := logicalid.CHID(b.scheme.Grid().Index(vc))
+		entries := b.exportEntries(slot, now)
+		free := 0.0
+		if n := b.net.Node(ch); n != nil {
+			free = n.Cap.Free()
+		}
+		payload := &beaconPayload{FromSlot: slot, Sent: now, FreeBW: free, Entries: entries}
+		size := b.cfg.BeaconHeader + len(entries)*b.cfg.BeaconEntry
+		for _, nb := range b.LogicalNeighbors(slot) {
+			inner := &network.Packet{
+				Kind: BeaconKind, Src: ch, Dst: b.CHNodeOf(nb),
+				Size: size, Control: true, Born: now,
+				UID: b.net.NextUID(), Payload: payload,
+			}
+			if b.SendLogical(slot, nb, inner) {
+				b.beacons++
+			}
+		}
+	}
+}
+
+// exportEntries renders the advertisable routes of a slot: itself at
+// hops 0 plus every live table entry with fewer than K hops (a neighbor
+// would extend it by one).
+func (b *Backbone) exportEntries(slot logicalid.CHID, now des.Time) []beaconEntry {
+	t := b.table(slot)
+	entries := []beaconEntry{{Dest: slot, Hops: 0, Delay: 0, Bandwidth: 1e12}}
+	for dest, routes := range t.routes {
+		var best *Route
+		for i := range routes {
+			r := &routes[i]
+			if r.Expires < now {
+				continue
+			}
+			if best == nil || r.Hops < best.Hops || (r.Hops == best.Hops && r.Delay < best.Delay) {
+				best = r
+			}
+		}
+		if best != nil && best.Hops < b.cfg.K {
+			entries = append(entries, beaconEntry{
+				Dest: dest, Hops: best.Hops, Delay: best.Delay, Bandwidth: best.Bandwidth,
+			})
+		}
+	}
+	return entries
+}
+
+// onBeacon is Figure 4 step 2: update local logical routes.
+func (b *Backbone) onBeacon(n *network.Node, _ network.NodeID, pkt *network.Packet) {
+	payload, ok := pkt.Payload.(*beaconPayload)
+	if !ok {
+		return
+	}
+	slot := b.SlotOfNode(n.ID)
+	if slot < 0 {
+		return // no longer a CH; the beacon outlived the role
+	}
+	now := b.net.Sim().Now()
+	linkDelay := float64(now - payload.Sent)
+	if linkDelay < 0 {
+		linkDelay = 0
+	}
+	t := b.table(slot)
+	for _, e := range payload.Entries {
+		if e.Dest == slot {
+			continue
+		}
+		hops := e.Hops + 1
+		if hops > b.cfg.K {
+			continue
+		}
+		bw := payload.FreeBW
+		if e.Bandwidth < bw {
+			bw = e.Bandwidth
+		}
+		t.update(Route{
+			Dest:      e.Dest,
+			NextHop:   payload.FromSlot,
+			Hops:      hops,
+			Delay:     e.Delay + linkDelay,
+			Bandwidth: bw,
+			Expires:   now + b.cfg.RouteTTL,
+		}, b.cfg.MaxRoutesPerDest)
+	}
+	b.tr.Eventf(trace.Routes, float64(now), "slot %d absorbed beacon from %d (%d entries)",
+		slot, payload.FromSlot, len(payload.Entries))
+}
+
+// update inserts or refreshes a route, keeping at most maxRoutes routes
+// per destination with distinct next hops (preferring fewer hops, then
+// lower delay).
+func (t *routeTable) update(r Route, maxRoutes int) {
+	routes := t.routes[r.Dest]
+	for i := range routes {
+		if routes[i].NextHop == r.NextHop {
+			routes[i] = r
+			t.routes[r.Dest] = routes
+			return
+		}
+	}
+	routes = append(routes, r)
+	sort.Slice(routes, func(i, j int) bool {
+		if routes[i].Hops != routes[j].Hops {
+			return routes[i].Hops < routes[j].Hops
+		}
+		return routes[i].Delay < routes[j].Delay
+	})
+	if len(routes) > maxRoutes {
+		routes = routes[:maxRoutes]
+	}
+	t.routes[r.Dest] = routes
+}
+
+// Routes returns the live routes from one slot to a destination slot,
+// best first. The slice is freshly allocated.
+func (b *Backbone) Routes(from, to logicalid.CHID) []Route {
+	now := b.net.Sim().Now()
+	var out []Route
+	for _, r := range b.table(from).routes[to] {
+		if r.Expires >= now {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// BestRoute returns the best live route satisfying the QoS constraints
+// (minBW in bits/second, maxDelay in seconds; zero means unconstrained),
+// or nil. This is the QoS selection the paper's availability argument
+// relies on: when the current route breaks, the next candidate is
+// already in the table.
+func (b *Backbone) BestRoute(from, to logicalid.CHID, minBW, maxDelay float64) *Route {
+	for _, r := range b.Routes(from, to) {
+		if minBW > 0 && r.Bandwidth < minBW {
+			continue
+		}
+		if maxDelay > 0 && r.Delay > maxDelay {
+			continue
+		}
+		r := r
+		return &r
+	}
+	return nil
+}
+
+// KnownDestinations returns how many distinct destinations have a live
+// route from the slot — the convergence measure of Figure 4
+// experiments.
+func (b *Backbone) KnownDestinations(from logicalid.CHID) int {
+	now := b.net.Sim().Now()
+	count := 0
+	for _, routes := range b.table(from).routes {
+		for _, r := range routes {
+			if r.Expires >= now {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// Beacons returns the number of logical beacons sent so far.
+func (b *Backbone) Beacons() uint64 { return b.beacons }
+
+// LogicalReach returns the set of slots within at most k logical hops
+// of the start slot in the *current* logical topology (ground truth by
+// BFS, independent of route tables) — what a converged table should
+// know. Used by tests and the Figure 4 experiment.
+func (b *Backbone) LogicalReach(start logicalid.CHID, k int) map[logicalid.CHID]int {
+	dist := map[logicalid.CHID]int{start: 0}
+	frontier := []logicalid.CHID{start}
+	for d := 1; d <= k; d++ {
+		var next []logicalid.CHID
+		for _, u := range frontier {
+			for _, v := range b.LogicalNeighbors(u) {
+				if _, ok := dist[v]; !ok {
+					dist[v] = d
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	delete(dist, start)
+	return dist
+}

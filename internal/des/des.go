@@ -1,0 +1,244 @@
+// Package des implements the discrete-event simulation kernel that every
+// experiment in this repository runs on. It provides a virtual clock, a
+// binary-heap future event list, periodic timers, and a labelled event
+// counter used by the experiment harness to account control overhead.
+//
+// The kernel is deliberately single-threaded: MANET protocol simulations
+// are causality-chained (a reception schedules the next transmission), so
+// the standard structure is one goroutine per *run* and many runs in
+// parallel, which the experiment harness arranges. Keeping the kernel
+// lock-free makes a run deterministic for a given seed.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is simulated time in seconds since the start of the run.
+type Time float64
+
+// Duration is a span of simulated time in seconds.
+type Duration = Time
+
+// Infinity is a time later than any event the simulator will execute.
+const Infinity Time = Time(math.MaxFloat64)
+
+// FromReal converts a wall-clock duration to simulated seconds. It exists
+// so scenario code can be written with time.Second-style literals.
+func FromReal(d time.Duration) Duration { return Duration(d.Seconds()) }
+
+// Event is a scheduled callback. Fn runs at time At; events at equal
+// times run in the order they were scheduled (FIFO tie-break), which
+// keeps runs reproducible.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	idx  int
+	dead bool
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ ev *event }
+
+// Cancel prevents the event from running. Cancelling an already-executed
+// or already-cancelled event is a no-op. Cancel reports whether the event
+// was still pending.
+func (h Handle) Cancel() bool {
+	if h.ev == nil || h.ev.dead {
+		return false
+	}
+	h.ev.dead = true
+	return true
+}
+
+// Pending reports whether the event has neither run nor been cancelled.
+func (h Handle) Pending() bool { return h.ev != nil && !h.ev.dead && h.ev.idx >= 0 }
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.idx = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Simulator owns the virtual clock and the future event list.
+type Simulator struct {
+	now      Time
+	queue    eventQueue
+	seq      uint64
+	executed uint64
+	stopped  bool
+	horizon  Time
+}
+
+// New returns an empty simulator with the clock at zero and no horizon.
+func New() *Simulator {
+	return &Simulator{horizon: Infinity}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Executed returns the number of events executed so far; useful both in
+// tests and as a cheap progress measure.
+func (s *Simulator) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events currently scheduled.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// SetHorizon caps the run: events scheduled after t never execute. A run
+// ends when the queue drains or the next event lies past the horizon.
+func (s *Simulator) SetHorizon(t Time) { s.horizon = t }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics:
+// that is always a protocol bug, and failing loudly during development is
+// preferable to silent causality violations.
+func (s *Simulator) Schedule(at Time, fn func()) Handle {
+	if at < s.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Handle{ev}
+}
+
+// After runs fn after the given delay from the current time.
+func (s *Simulator) After(d Duration, fn func()) Handle {
+	return s.Schedule(s.now+d, fn)
+}
+
+// Every runs fn at the given period, starting after an initial offset
+// (use offset 0 to fire immediately relative to now+period jitter control
+// in the caller). The returned Ticker can be stopped.
+func (s *Simulator) Every(offset, period Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("des: non-positive ticker period")
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.handle = s.After(offset, t.fire)
+	return t
+}
+
+// Ticker is a periodic event created by Every.
+type Ticker struct {
+	sim     *Simulator
+	period  Duration
+	fn      func()
+	handle  Handle
+	stopped bool
+}
+
+func (t *Ticker) fire() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped { // fn may have stopped us
+		t.handle = t.sim.After(t.period, t.fire)
+	}
+}
+
+// Stop cancels future firings. It is idempotent.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.handle.Cancel()
+}
+
+// Stop halts the run after the current event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step executes the single next event. It reports false when the queue is
+// empty, the simulator was stopped, or the next event is past the
+// horizon.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return false
+		}
+		ev := s.queue[0]
+		if ev.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if ev.at > s.horizon {
+			return false
+		}
+		heap.Pop(&s.queue)
+		s.now = ev.at
+		ev.dead = true
+		s.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, Stop is called, or the
+// horizon is reached. It returns the final simulated time.
+func (s *Simulator) Run() Time {
+	for s.Step() {
+	}
+	if s.horizon < Infinity && s.now < s.horizon && !s.stopped {
+		// Queue drained early; advance the clock to the horizon so that
+		// rate metrics (events/second) are computed over the full window.
+		s.now = s.horizon
+	}
+	return s.now
+}
+
+// RunUntil executes events with timestamps <= t and then sets the clock
+// to exactly t. It is the building block for phased experiments
+// (warm-up, measure, tear-down).
+func (s *Simulator) RunUntil(t Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("des: RunUntil(%v) before now %v", t, s.now))
+	}
+	for len(s.queue) > 0 && !s.stopped {
+		ev := s.queue[0]
+		if ev.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if ev.at > t || ev.at > s.horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = ev.at
+		ev.dead = true
+		s.executed++
+		ev.fn()
+	}
+	if t <= s.horizon && !s.stopped {
+		s.now = t
+	}
+}

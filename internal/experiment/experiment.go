@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/des"
+	"repro/internal/network"
+	"repro/internal/scenario"
+)
+
+// Options control experiment size. Scale 1 runs the full configuration
+// reported in EXPERIMENTS.md; Scale < 1 selects the reduced
+// configuration used by unit tests and quick benchmark runs.
+type Options struct {
+	Seed  uint64
+	Scale float64
+}
+
+// DefaultOptions runs full-size experiments with the default seed.
+func DefaultOptions() Options { return Options{Seed: 1, Scale: 1} }
+
+// QuickOptions runs the reduced configurations.
+func QuickOptions() Options { return Options{Seed: 1, Scale: 0.25} }
+
+// Runner regenerates the tables of one experiment.
+type Runner func(Options) []*Table
+
+// registry maps experiment IDs to runners.
+var registry = map[string]struct {
+	run   Runner
+	title string
+}{
+	"f1": {Figure1, "HVDB model construction (Fig. 1)"},
+	"f2": {Figure2, "8x8 VC / four 4-D hypercube decomposition (Fig. 2)"},
+	"f3": {Figure3, "4-D hypercube label layout (Fig. 3)"},
+	"f4": {Figure4, "proactive local logical route maintenance (Fig. 4)"},
+	"f5": {Figure5, "summary-based membership update (Fig. 5)"},
+	"f6": {Figure6, "logical location-based multicast routing (Fig. 6)"},
+	"c1": {ClaimAvailability, "claim: high availability via disjoint paths"},
+	"c2": {ClaimLoadBalance, "claim: load balancing vs tree-based backbone"},
+	"c3": {ClaimScalability, "claim: control overhead scalability"},
+	"c4": {ClaimDiameter, "claim: small diameter / few logical hops"},
+	"c5": {ClaimComparison, "protocol comparison (PDR/delay/overhead)"},
+	"c6": {ClaimChurn, "group dynamics: delivery under membership churn"},
+}
+
+// IDs returns the registered experiment IDs in order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns the one-line description of an experiment.
+func Title(id string) string { return registry[id].title }
+
+// Run executes one experiment by ID.
+func Run(id string, o Options) ([]*Table, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown id %q (have %v)", id, IDs())
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return e.run(o), nil
+}
+
+// must unwraps constructor errors; experiment configurations are static
+// and a failure is a programming error.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// networkBind rebinds a fresh mux onto the world's nodes (used when an
+// experiment rebuilds the protocol stack with custom configs).
+func networkBind(w *scenario.World) *network.Mux {
+	m := network.Bind(w.Net)
+	w.Mux = m
+	return m
+}
+
+// scaleInt picks the full or reduced value by scale.
+func scaleInt(full int, scale float64, small int) int {
+	if scale >= 1 {
+		return full
+	}
+	return small
+}
+
+// scaleDur picks the full or reduced duration by scale.
+func scaleDur(full des.Duration, scale float64, small des.Duration) des.Duration {
+	if scale >= 1 {
+		return full
+	}
+	return small
+}
+
+// scaleInts picks the full or reduced sweep by scale.
+func scaleInts(full []int, scale float64, small []int) []int {
+	if scale >= 1 {
+		return full
+	}
+	return small
+}

@@ -1,0 +1,208 @@
+package experiment
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"c1", "c2", "c3", "c4", "c5", "c6", "f1", "f2", "f3", "f4", "f5", "f6"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("IDs %v want %v", got, want)
+		}
+	}
+	for _, id := range got {
+		if Title(id) == "" {
+			t.Fatalf("experiment %s has no title", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("zz", QuickOptions()); err == nil {
+		t.Fatal("unknown ID should error")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}}
+	tb.AddRow("1") // short row padded
+	tb.AddRow("22", "333")
+	tb.Note("hello %d", 7)
+	s := tb.String()
+	for _, want := range []string{"== X: demo ==", "a", "bb", "22", "333", "note: hello 7"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Fatalf("F = %q", F(1.23456))
+	}
+	if I(42) != "42" || U(7) != "7" {
+		t.Fatal("I/U wrong")
+	}
+	if Pct(0.5) != "50.0%" {
+		t.Fatalf("Pct = %q", Pct(0.5))
+	}
+}
+
+// TestFigure2ExactDecomposition checks the figure-accurate invariants of
+// the cheap, deterministic experiments.
+func TestFigure2ExactDecomposition(t *testing.T) {
+	tables := Figure2(QuickOptions())
+	if len(tables) != 2 {
+		t.Fatalf("tables %d", len(tables))
+	}
+	main := tables[0]
+	if len(main.Rows) != 4 {
+		t.Fatalf("hypercube rows %d want 4", len(main.Rows))
+	}
+	for _, row := range main.Rows {
+		if row[2] != "16" {
+			t.Fatalf("block with %s VCs want 16", row[2])
+		}
+		if row[3] != "7" { // 4+4 border VCs minus the shared corner
+			t.Fatalf("border VCs %s want 7", row[3])
+		}
+	}
+}
+
+func TestFigure3ExactLayout(t *testing.T) {
+	tables := Figure3(QuickOptions())
+	layout := tables[0]
+	wantRows := []string{
+		"0000 0001 0100 0101",
+		"0010 0011 0110 0111",
+		"1000 1001 1100 1101",
+		"1010 1011 1110 1111",
+	}
+	for i, row := range layout.Rows {
+		if row[1] != wantRows[i] {
+			t.Fatalf("figure 3 row %d = %q want %q", i, row[1], wantRows[i])
+		}
+	}
+	links := tables[1]
+	jumps := 0
+	for _, row := range links.Rows {
+		if row[2] == "additional logical link" {
+			jumps++
+		}
+	}
+	if jumps != 2 {
+		t.Fatalf("node 0000 jump links %d want 2", jumps)
+	}
+}
+
+func TestFigure4Converges(t *testing.T) {
+	tables := Figure4(QuickOptions())
+	main := tables[0]
+	if len(main.Rows) == 0 {
+		t.Fatal("no k rows")
+	}
+	for _, row := range main.Rows {
+		if row[3] != "100.0%" {
+			t.Fatalf("k=%s coverage %s want 100%%", row[0], row[3])
+		}
+	}
+	// The §4.1 example table must list the five neighbors of node 1000.
+	ex := tables[1]
+	if len(ex.Rows) != 5 {
+		t.Fatalf("node 1000 has %d logical neighbors want 5", len(ex.Rows))
+	}
+}
+
+func TestFigure5ShowsPartialInvolvement(t *testing.T) {
+	tables := Figure5(QuickOptions())
+	main := tables[0]
+	for _, row := range main.Rows {
+		hvdbInvolved, _ := strconv.Atoi(row[2])
+		dsmInvolved, _ := strconv.Atoi(row[6])
+		if hvdbInvolved >= dsmInvolved {
+			t.Fatalf("hvdb involves %d nodes, dsm %d; paper expects a portion vs all",
+				hvdbInvolved, dsmInvolved)
+		}
+		if row[7] == "0.0%" {
+			t.Fatal("MT coverage zero: membership plane broken")
+		}
+	}
+}
+
+func TestFigure6Delivers(t *testing.T) {
+	tables := Figure6(QuickOptions())
+	for _, row := range tables[0].Rows {
+		pdr := strings.TrimSuffix(row[1], "%")
+		v, err := strconv.ParseFloat(pdr, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < 80 {
+			t.Fatalf("group size %s PDR %v%% below 80%%", row[0], v)
+		}
+	}
+}
+
+func TestClaimAvailabilityShape(t *testing.T) {
+	tables := ClaimAvailability(QuickOptions())
+	rows := tables[0].Rows
+	// At zero failures, available paths equal the dimension.
+	for _, row := range rows {
+		if row[1] == "0" {
+			if row[0] != row[2] {
+				t.Fatalf("dim %s with no failures has %s paths; want equal", row[0], row[2])
+			}
+		}
+	}
+}
+
+func TestClaimLoadBalanceDirection(t *testing.T) {
+	tables := ClaimLoadBalance(QuickOptions())
+	rows := tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	var hvdbJain, cbtJain float64
+	for _, row := range rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch row[0] {
+		case "hvdb":
+			hvdbJain = v
+		case "cbt":
+			cbtJain = v
+		}
+	}
+	if hvdbJain <= cbtJain {
+		t.Fatalf("hvdb jain %v should exceed cbt %v (the paper's load-balancing claim)", hvdbJain, cbtJain)
+	}
+}
+
+func TestClaimDiameterMatchesDimension(t *testing.T) {
+	tables := ClaimDiameter(QuickOptions())
+	for _, row := range tables[0].Rows {
+		if row[0] != row[1] {
+			t.Fatalf("dim %s cube diameter %s; complete cube diameter must equal dimension", row[0], row[1])
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{ID: "X", Title: "demo", Columns: []string{"a", "b"}}
+	tb.AddRow("1", `va"l,ue`)
+	tb.Note("n1")
+	csv := tb.CSV()
+	want := "a,b\n1,\"va\"\"l,ue\"\n# n1\n"
+	if csv != want {
+		t.Fatalf("CSV = %q want %q", csv, want)
+	}
+}

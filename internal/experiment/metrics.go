@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"repro/internal/baseline"
+	"repro/internal/des"
+	"repro/internal/membership"
+	"repro/internal/network"
+	"repro/internal/scenario"
+	"repro/internal/stats"
+)
+
+// runMetrics accumulates delivery statistics for one traffic phase.
+type runMetrics struct {
+	sim      *des.Simulator
+	expected map[uint64]int // uid -> audience size at send time
+
+	delivered int
+	delays    stats.Sample
+	hops      stats.Sample
+}
+
+func newRunMetrics(sim *des.Simulator) *runMetrics {
+	return &runMetrics{sim: sim, expected: make(map[uint64]int)}
+}
+
+// observe is wired into OnDeliver callbacks.
+func (m *runMetrics) observe(_ network.NodeID, uid uint64, born des.Time, hops int) {
+	if _, ok := m.expected[uid]; !ok {
+		return // warm-up or foreign packet
+	}
+	m.delivered++
+	m.delays.Add(float64(m.sim.Now() - born))
+	m.hops.Add(float64(hops))
+}
+
+// expect registers a sent packet and its audience size.
+func (m *runMetrics) expect(uid uint64, audience int) {
+	if uid != 0 {
+		m.expected[uid] = audience
+	}
+}
+
+// pdr returns delivered / expected deliveries.
+func (m *runMetrics) pdr() float64 {
+	total := 0
+	for _, n := range m.expected {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(m.delivered) / float64(total)
+}
+
+// hvdbTraffic drives count CBR packets from one random source to group
+// g over the HVDB stack and returns the metrics after draining.
+func hvdbTraffic(w *scenario.World, g membership.Group, count, payload int, interval des.Duration) *runMetrics {
+	m := newRunMetrics(w.Sim)
+	w.MC.OnDeliver(func(member network.NodeID, uid uint64, born des.Time, hops int) {
+		m.observe(member, uid, born, hops)
+	})
+	src := w.RandomSource()
+	w.CBR(func() uint64 {
+		uid := w.MC.Send(src, g, payload)
+		m.expect(uid, len(w.Members[g]))
+		return uid
+	}, interval, count)
+	w.Sim.RunUntil(w.Sim.Now() + interval*des.Duration(count) + 5)
+	return m
+}
+
+// baselineTraffic drives the same workload over a baseline protocol.
+func baselineTraffic(w *scenario.World, p baseline.Protocol, g membership.Group, count, payload int, interval des.Duration) *runMetrics {
+	m := newRunMetrics(w.Sim)
+	p.OnDeliver(func(member network.NodeID, uid uint64, born des.Time, hops int) {
+		m.observe(member, uid, born, hops)
+	})
+	src := w.RandomSource()
+	w.CBR(func() uint64 {
+		uid := p.Send(src, baseline.Group(g), payload)
+		m.expect(uid, len(w.Members[g]))
+		return uid
+	}, interval, count)
+	w.Sim.RunUntil(w.Sim.Now() + interval*des.Duration(count) + 5)
+	return m
+}
+
+// controlPerNodeSecond reads control overhead normalized by node count
+// and elapsed time.
+func controlPerNodeSecond(w *scenario.World, elapsed des.Duration) float64 {
+	if elapsed <= 0 || w.Net.Len() == 0 {
+		return 0
+	}
+	return float64(w.Net.Stats().ControlBytes) / float64(w.Net.Len()) / float64(elapsed)
+}

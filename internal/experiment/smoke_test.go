@@ -1,0 +1,70 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick smoke-runs every registered experiment at
+// reduced scale: each must produce at least one table with rows and
+// render without panicking. The heavier sweeps are skipped with -short.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	heavy := map[string]bool{"c3": true, "c5": true, "c6": true, "f5": true}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && heavy[id] {
+				t.Skip("heavy sweep skipped with -short")
+			}
+			tables, err := Run(id, QuickOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if len(tb.Columns) == 0 {
+					t.Fatalf("table %s has no columns", tb.ID)
+				}
+				if len(tb.Rows) == 0 {
+					t.Fatalf("table %s has no rows", tb.ID)
+				}
+				if !strings.Contains(tb.String(), tb.ID) {
+					t.Fatalf("table %s renders without its ID", tb.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestRepairLatencyTable checks the C1b availability outcome: alternates
+// exist at failure time in most trials and repair completes within a
+// few beacon periods.
+func TestRepairLatencyTable(t *testing.T) {
+	tbl := repairLatency(QuickOptions())
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no repair trials")
+	}
+	for _, row := range tbl.Rows {
+		if row[2] == "unrepaired" {
+			t.Fatalf("trial %s never repaired", row[0])
+		}
+	}
+}
+
+// TestChurnExperimentShape: zero churn must give full delivery against
+// current members.
+func TestChurnExperimentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy sweep skipped with -short")
+	}
+	tables := ClaimChurn(QuickOptions())
+	first := tables[0].Rows[0]
+	if first[0] != "0" {
+		t.Fatalf("first row should be zero churn, got %q", first[0])
+	}
+	if first[1] != "100.0%" {
+		t.Fatalf("zero-churn PDR %s want 100%%", first[1])
+	}
+}

@@ -1,0 +1,190 @@
+// Package geom provides the 2-D geometric primitives used throughout the
+// simulator: points, vectors, circles, and rectangles. All coordinates are
+// in meters in a flat Euclidean plane, which matches the paper's model of
+// a geographical area divided into equal circular regions.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Add returns p translated by the vector v.
+func (p Point) Add(v Vector) Point { return Point{p.X + v.DX, p.Y + v.DY} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vector { return Vector{p.X - q.X, p.Y - q.Y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root and is the preferred comparison form on hot paths such
+// as neighbor discovery.
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// In reports whether p lies inside the rectangle r (inclusive of the
+// minimum edge, exclusive of the maximum edge, so that tiling rectangles
+// partition the plane).
+func (p Point) In(r Rect) bool {
+	return p.X >= r.Min.X && p.X < r.Max.X && p.Y >= r.Min.Y && p.Y < r.Max.Y
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.1f,%.1f)", p.X, p.Y) }
+
+// Vector is a displacement in the plane, in meters.
+type Vector struct {
+	DX, DY float64
+}
+
+// Vec is shorthand for Vector{dx, dy}.
+func Vec(dx, dy float64) Vector { return Vector{DX: dx, DY: dy} }
+
+// Add returns the component-wise sum v+w.
+func (v Vector) Add(w Vector) Vector { return Vector{v.DX + w.DX, v.DY + w.DY} }
+
+// Scale returns v scaled by s.
+func (v Vector) Scale(s float64) Vector { return Vector{v.DX * s, v.DY * s} }
+
+// Len returns the Euclidean length of v.
+func (v Vector) Len() float64 { return math.Hypot(v.DX, v.DY) }
+
+// Dot returns the dot product of v and w.
+func (v Vector) Dot(w Vector) float64 { return v.DX*w.DX + v.DY*w.DY }
+
+// Unit returns the unit vector in the direction of v. The zero vector is
+// returned unchanged.
+func (v Vector) Unit() Vector {
+	l := v.Len()
+	if l == 0 {
+		return Vector{}
+	}
+	return Vector{v.DX / l, v.DY / l}
+}
+
+// Angle returns the direction of v in radians in (-pi, pi].
+func (v Vector) Angle() float64 { return math.Atan2(v.DY, v.DX) }
+
+// FromPolar returns the vector with the given length and direction
+// (radians).
+func FromPolar(length, angle float64) Vector {
+	return Vector{length * math.Cos(angle), length * math.Sin(angle)}
+}
+
+// Circle is a disc with center C and radius R, used both for radio ranges
+// and for the paper's Virtual Circles.
+type Circle struct {
+	C Point
+	R float64
+}
+
+// Contains reports whether p is inside or on the circle.
+func (c Circle) Contains(p Point) bool {
+	return c.C.Dist2(p) <= c.R*c.R
+}
+
+// Overlaps reports whether two circles intersect (share at least one
+// point).
+func (c Circle) Overlaps(d Circle) bool {
+	rr := c.R + d.R
+	return c.C.Dist2(d.C) <= rr*rr
+}
+
+// Rect is an axis-aligned rectangle [Min, Max).
+type Rect struct {
+	Min, Max Point
+}
+
+// RectWH returns the rectangle with origin (x, y) and the given width and
+// height.
+func RectWH(x, y, w, h float64) Rect {
+	return Rect{Min: Pt(x, y), Max: Pt(x+w, y+h)}
+}
+
+// W returns the rectangle's width.
+func (r Rect) W() float64 { return r.Max.X - r.Min.X }
+
+// H returns the rectangle's height.
+func (r Rect) H() float64 { return r.Max.Y - r.Min.Y }
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Point {
+	return Pt((r.Min.X+r.Max.X)/2, (r.Min.Y+r.Max.Y)/2)
+}
+
+// Clamp returns p constrained to lie within r (inclusive of both edges).
+func (r Rect) Clamp(p Point) Point {
+	return Pt(clamp(p.X, r.Min.X, r.Max.X), clamp(p.Y, r.Min.Y, r.Max.Y))
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Reflect bounces the point p off the walls of r, mutating the velocity v
+// as needed, and returns the reflected point and velocity. It is used by
+// mobility models with billiard boundary behaviour.
+func (r Rect) Reflect(p Point, v Vector) (Point, Vector) {
+	for i := 0; i < 8; i++ { // bounded number of bounces per step
+		changed := false
+		if p.X < r.Min.X {
+			p.X = 2*r.Min.X - p.X
+			v.DX = -v.DX
+			changed = true
+		} else if p.X > r.Max.X {
+			p.X = 2*r.Max.X - p.X
+			v.DX = -v.DX
+			changed = true
+		}
+		if p.Y < r.Min.Y {
+			p.Y = 2*r.Min.Y - p.Y
+			v.DY = -v.DY
+			changed = true
+		} else if p.Y > r.Max.Y {
+			p.Y = 2*r.Max.Y - p.Y
+			v.DY = -v.DY
+			changed = true
+		}
+		if !changed {
+			return p, v
+		}
+	}
+	// Degenerate velocity far larger than the arena: clamp.
+	return r.Clamp(p), v
+}
+
+// SegmentCircleIntersect reports whether the segment from a to b passes
+// within radius r of center c. It is used for conservative link
+// obstruction tests.
+func SegmentCircleIntersect(a, b, c Point, r float64) bool {
+	ab := b.Sub(a)
+	ac := c.Sub(a)
+	abLen2 := ab.Dot(ab)
+	t := 0.0
+	if abLen2 > 0 {
+		t = ac.Dot(ab) / abLen2
+	}
+	t = clamp(t, 0, 1)
+	closest := a.Add(ab.Scale(t))
+	return closest.Dist2(c) <= r*r
+}

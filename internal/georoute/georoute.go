@@ -1,0 +1,336 @@
+// Package georoute implements the location-based unicast routing the
+// paper delegates to ("we assume to use some location-based unicast
+// routing algorithm to send a packet from one logical hypercube to its
+// next hop logical hypercube", §4.3): greedy geographic forwarding with
+// a right-hand-rule perimeter recovery on a Gabriel-planarized neighbor
+// graph, following GPSR [11], which the paper itself cites for the
+// recovery strategy.
+//
+// The router is hop-by-hop: each forwarding decision uses only the
+// current node's neighbor positions and the packet's target coordinates,
+// exactly the locality property that makes location-based routing scale.
+package georoute
+
+import (
+	"math"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/network"
+	"repro/internal/trace"
+)
+
+// KindPrefix prefixes the packet kind of geo-routed envelopes; the full
+// kind is KindPrefix + inner.Kind, so traffic accounting attributes the
+// envelope to the protocol plane it carries.
+const KindPrefix = "geo:"
+
+// Kind is the bare envelope kind used when the inner kind is empty.
+const Kind = "geo"
+
+// HeaderSize is the on-air overhead of the geo envelope in bytes:
+// target position (16), final destination (4), mode+entry distance (12),
+// TTL and flags (4).
+const HeaderSize = 36
+
+// DefaultTTL bounds the physical hop count of one geo-routed packet.
+const DefaultTTL = 128
+
+// Header is the geo-routing envelope around an inner packet.
+type Header struct {
+	// Target is the geographic destination the greedy mode steers to.
+	Target geom.Point
+	// FinalDst, when not NoNode, names the node that should consume the
+	// inner packet; the packet completes at FinalDst, or at the node
+	// closest to Target when FinalDst is NoNode (anycast-to-location).
+	FinalDst network.NodeID
+	// TTL is the remaining physical hop budget.
+	TTL int
+	// Perimeter mode state: whether we are in recovery, the distance to
+	// target at which recovery was entered, and the previous hop (for
+	// the right-hand rule).
+	Recovering bool
+	EntryDist  float64
+	PrevHop    network.NodeID
+	// Visited marks nodes traversed while in recovery. Real GPSR's face
+	// routing is loop-free by construction; this simplified right-hand
+	// traversal uses the visited set for the same guarantee, preferring
+	// unvisited perimeter neighbors and dropping only when the whole
+	// reachable perimeter has been walked.
+	Visited map[network.NodeID]bool
+	// Hops counts physical transmissions of this envelope; it is copied
+	// to the inner packet on delivery so end-to-end hop metrics survive
+	// per-hop re-encapsulation.
+	Hops int
+	// Inner is the encapsulated upper-layer packet.
+	Inner *network.Packet
+}
+
+// DeliverFunc consumes an inner packet that reached its destination.
+type DeliverFunc func(n *network.Node, inner *network.Packet)
+
+// Router performs geographic unicast over one network. One router is
+// shared by all protocol planes of a mux (see Attach); each plane
+// registers consumers for its own inner packet kinds.
+type Router struct {
+	net *network.Network
+	tr  trace.Tracer
+
+	consumers       map[string]DeliverFunc
+	fallbackDeliver DeliverFunc
+	// Delivered/Dropped count inner packets for experiments.
+	Delivered uint64
+	Dropped   uint64
+}
+
+// auxKey identifies the shared router on a mux.
+const auxKey = "georoute"
+
+// Attach returns the mux's shared router, creating and registering it on
+// first use. Envelopes are dispatched through the mux fallback by their
+// KindPrefix, so protocol planes can register exact kinds freely.
+func Attach(net *network.Network, mux *network.Mux) *Router {
+	if r, ok := mux.Aux(auxKey).(*Router); ok {
+		return r
+	}
+	r := &Router{net: net, tr: trace.Nop, consumers: make(map[string]DeliverFunc)}
+	mux.SetAux(auxKey, r)
+	mux.Handle(Kind, r.onPacket)
+	mux.HandleFallback(func(n *network.Node, from network.NodeID, pkt *network.Packet) {
+		if strings.HasPrefix(pkt.Kind, KindPrefix) {
+			r.onPacket(n, from, pkt)
+		}
+	})
+	return r
+}
+
+// Deliver registers the consumer for inner packets of the given kind,
+// replacing any previous registration.
+func (r *Router) Deliver(kind string, fn DeliverFunc) { r.consumers[kind] = fn }
+
+// DeliverFallback registers the consumer for inner kinds with no exact
+// registration.
+func (r *Router) DeliverFallback(fn DeliverFunc) { r.fallbackDeliver = fn }
+
+// SetTracer installs a tracer; nil resets to no-op.
+func (r *Router) SetTracer(t trace.Tracer) {
+	if t == nil {
+		t = trace.Nop
+	}
+	r.tr = t
+}
+
+// Send geo-routes inner from the node `from` toward the target
+// position, to be consumed by final (or by the node nearest the target
+// if final is NoNode). It reports whether a first transmission was made
+// (or the packet was consumed locally).
+func (r *Router) Send(from network.NodeID, target geom.Point, final network.NodeID, inner *network.Packet) bool {
+	h := &Header{Target: target, FinalDst: final, TTL: DefaultTTL, PrevHop: network.NoNode, Inner: inner}
+	n := r.net.Node(from)
+	if n == nil || !n.Up() {
+		return false
+	}
+	return r.forward(n, h)
+}
+
+func (r *Router) envelope(h *Header) *network.Packet {
+	kind := Kind
+	if h.Inner.Kind != "" {
+		kind = KindPrefix + h.Inner.Kind
+	}
+	return &network.Packet{
+		Kind:    kind,
+		Src:     h.Inner.Src,
+		Dst:     h.FinalDst,
+		Group:   h.Inner.Group,
+		Size:    h.Inner.Size + HeaderSize,
+		Control: h.Inner.Control,
+		Born:    h.Inner.Born,
+		UID:     h.Inner.UID,
+		Payload: h,
+	}
+}
+
+func (r *Router) onPacket(n *network.Node, from network.NodeID, pkt *network.Packet) {
+	h, ok := pkt.Payload.(*Header)
+	if !ok {
+		r.Dropped++
+		return
+	}
+	h.PrevHop = from
+	r.forward(n, h)
+}
+
+// forward makes one forwarding decision at node n.
+func (r *Router) forward(n *network.Node, h *Header) bool {
+	pos := n.TruePos()
+	// Arrived at the named destination?
+	if h.FinalDst == n.ID {
+		r.consume(n, h)
+		return true
+	}
+	// Anycast completion: nobody closer to the target.
+	next := r.bestGreedy(n, pos, h.Target)
+	if h.FinalDst == network.NoNode && next == network.NoNode && !h.Recovering {
+		r.consume(n, h)
+		return true
+	}
+	if h.TTL <= 0 {
+		r.drop(n, h, "ttl")
+		return false
+	}
+	h.TTL--
+
+	if h.Recovering {
+		// Exit recovery as soon as greedy progress is again possible
+		// relative to the entry point (GPSR's rule).
+		if pos.Dist(h.Target) < h.EntryDist && next != network.NoNode {
+			h.Recovering = false
+			h.Visited = nil
+		} else {
+			h.Visited[n.ID] = true
+			peri := r.perimeterNext(n, pos, h)
+			if peri == network.NoNode {
+				r.drop(n, h, "perimeter dead end")
+				return false
+			}
+			return r.transmit(n, peri, h)
+		}
+	}
+	if next == network.NoNode {
+		// Local maximum: enter perimeter mode.
+		h.Recovering = true
+		h.EntryDist = pos.Dist(h.Target)
+		h.Visited = map[network.NodeID]bool{n.ID: true}
+		peri := r.perimeterNext(n, pos, h)
+		if peri == network.NoNode {
+			r.drop(n, h, "void with no perimeter")
+			return false
+		}
+		return r.transmit(n, peri, h)
+	}
+	return r.transmit(n, next, h)
+}
+
+func (r *Router) transmit(n *network.Node, to network.NodeID, h *Header) bool {
+	ok := r.net.Unicast(n.ID, to, r.envelope(h))
+	if !ok {
+		r.drop(n, h, "tx failed")
+		return false
+	}
+	h.Hops++
+	return true
+}
+
+func (r *Router) consume(n *network.Node, h *Header) {
+	r.Delivered++
+	h.Inner.Hops += h.Hops
+	r.tr.Eventf(trace.Routes, float64(r.net.Sim().Now()), "geo delivered %s uid=%d at %d", h.Inner.Kind, h.Inner.UID, n.ID)
+	fn, ok := r.consumers[h.Inner.Kind]
+	if !ok {
+		fn = r.fallbackDeliver
+	}
+	if fn != nil {
+		fn(n, h.Inner)
+	}
+}
+
+func (r *Router) drop(n *network.Node, h *Header, why string) {
+	r.Dropped++
+	r.tr.Eventf(trace.Routes, float64(r.net.Sim().Now()), "geo drop %s uid=%d at %d: %s", h.Inner.Kind, h.Inner.UID, n.ID, why)
+}
+
+// bestGreedy returns the neighbor strictly closer to the target than n
+// itself, minimizing remaining distance; NoNode when none (local
+// maximum).
+func (r *Router) bestGreedy(n *network.Node, pos, target geom.Point) network.NodeID {
+	best := network.NoNode
+	bestD := pos.Dist(target)
+	for _, id := range r.net.Neighbors(n.ID) {
+		d := r.net.Node(id).TruePos().Dist(target)
+		if d < bestD {
+			best, bestD = id, d
+		}
+	}
+	return best
+}
+
+// perimeterNext applies the right-hand rule on the Gabriel-planarized
+// neighbor subgraph: take the first edge counterclockwise from the edge
+// back to the previous hop (or from the direction toward the target when
+// entering recovery).
+func (r *Router) perimeterNext(n *network.Node, pos geom.Point, h *Header) network.NodeID {
+	nbrs := r.gabrielNeighbors(n)
+	if len(nbrs) == 0 {
+		return network.NoNode
+	}
+	var refAngle float64
+	if h.PrevHop != network.NoNode && r.net.Node(h.PrevHop) != nil {
+		refAngle = r.net.Node(h.PrevHop).TruePos().Sub(pos).Angle()
+	} else {
+		refAngle = h.Target.Sub(pos).Angle()
+	}
+	best := network.NoNode
+	bestDelta := math.Inf(1)
+	// First pass prefers unvisited neighbors (loop-free traversal);
+	// second pass allows visited ones only when nothing new remains,
+	// which lets the walk back out of a dead-end spur exactly once per
+	// node before the visited set exhausts and the packet drops.
+	for pass := 0; pass < 2 && best == network.NoNode; pass++ {
+		for _, id := range nbrs {
+			if id == h.PrevHop && len(nbrs) > 1 {
+				continue // only return to sender as a last resort
+			}
+			if pass == 0 && h.Visited[id] {
+				continue
+			}
+			if pass == 1 && !h.Visited[id] {
+				continue // covered in pass 0
+			}
+			a := r.net.Node(id).TruePos().Sub(pos).Angle()
+			delta := math.Mod(a-refAngle+4*math.Pi, 2*math.Pi)
+			if delta == 0 {
+				delta = 2 * math.Pi
+			}
+			if delta < bestDelta {
+				best, bestDelta = id, delta
+			}
+		}
+		if pass == 1 {
+			break
+		}
+	}
+	if best == network.NoNode && h.PrevHop != network.NoNode {
+		return h.PrevHop
+	}
+	return best
+}
+
+// gabrielNeighbors filters n's physical neighbors to the Gabriel graph:
+// edge (u, v) survives iff no common neighbor lies inside the disc with
+// diameter uv. The Gabriel graph is planar and connectivity-preserving,
+// the standard GPSR planarization.
+func (r *Router) gabrielNeighbors(n *network.Node) []network.NodeID {
+	pos := n.TruePos()
+	nbrs := r.net.Neighbors(n.ID)
+	out := make([]network.NodeID, 0, len(nbrs))
+	for _, v := range nbrs {
+		vp := r.net.Node(v).TruePos()
+		mid := geom.Pt((pos.X+vp.X)/2, (pos.Y+vp.Y)/2)
+		radius2 := pos.Dist2(vp) / 4
+		keep := true
+		for _, w := range nbrs {
+			if w == v {
+				continue
+			}
+			if r.net.Node(w).TruePos().Dist2(mid) < radius2 {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, v)
+		}
+	}
+	return out
+}

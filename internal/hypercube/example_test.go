@@ -1,0 +1,40 @@
+package hypercube_test
+
+import (
+	"fmt"
+
+	"repro/internal/hypercube"
+)
+
+// The paper's availability argument in one example: an n-cube offers n
+// node-disjoint paths, so routes survive failures.
+func ExampleDisjointPaths() {
+	paths := hypercube.DisjointPaths(0b0000, 0b1111, 4)
+	fmt.Println("disjoint paths:", len(paths))
+	// Output: disjoint paths: 4
+}
+
+// Routing around failures in an incomplete hypercube (Katseff-style,
+// generalized by the paper to arbitrary missing nodes).
+func ExampleCube_Route() {
+	c := hypercube.Complete(3)
+	c.Remove(0b001) // e-cube path 000->001->011->111 is blocked
+	path := c.Route(0b000, 0b111)
+	for _, l := range path {
+		fmt.Println(l.Bits(3))
+	}
+	// Output:
+	// 000
+	// 010
+	// 011
+	// 111
+}
+
+// A multicast tree over the hypercube tier: destinations sharing e-cube
+// prefixes share tree edges.
+func ExampleCube_MulticastTree() {
+	c := hypercube.Complete(4)
+	tree, missed := c.MulticastTree(0b0000, []hypercube.Label{0b0011, 0b0111})
+	fmt.Println("tree nodes:", len(tree), "missed:", len(missed))
+	// Output: tree nodes: 4 missed: 0
+}

@@ -1,0 +1,468 @@
+package hypercube
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestHamming(t *testing.T) {
+	cases := []struct {
+		a, b Label
+		d    int
+	}{
+		{0b0000, 0b0000, 0},
+		{0b0000, 0b1111, 4},
+		{0b1010, 0b0101, 4},
+		{0b1000, 0b1001, 1},
+		{0b1000, 0b1101, 2},
+	}
+	for _, c := range cases {
+		if got := Hamming(c.a, c.b); got != c.d {
+			t.Errorf("Hamming(%04b,%04b)=%d want %d", c.a, c.b, got, c.d)
+		}
+	}
+}
+
+func TestLabelBits(t *testing.T) {
+	if got := Label(0b0101).Bits(4); got != "0101" {
+		t.Fatalf("Bits=%q", got)
+	}
+	if got := Label(1).Bits(6); got != "000001" {
+		t.Fatalf("Bits=%q", got)
+	}
+}
+
+func TestFlipAndBit(t *testing.T) {
+	l := Label(0b1000)
+	if l.Flip(0) != 0b1001 || l.Flip(3) != 0b0000 {
+		t.Fatal("Flip wrong")
+	}
+	if l.Bit(3) != 1 || l.Bit(0) != 0 {
+		t.Fatal("Bit wrong")
+	}
+}
+
+func TestNewPanicsOnBadDim(t *testing.T) {
+	for _, dim := range []int{0, -1, MaxDim + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) should panic", dim)
+				}
+			}()
+			New(dim)
+		}()
+	}
+}
+
+func TestCompleteProperties(t *testing.T) {
+	for dim := 1; dim <= 6; dim++ {
+		c := Complete(dim)
+		if c.Count() != 1<<uint(dim) {
+			t.Fatalf("dim %d count %d", dim, c.Count())
+		}
+		if !c.Connected() {
+			t.Fatalf("complete %d-cube not connected", dim)
+		}
+		// The paper: diameter of the hypercube is n.
+		if got := c.Diameter(); got != dim {
+			t.Fatalf("complete %d-cube diameter %d want %d", dim, got, dim)
+		}
+		// Regularity: every node has exactly n neighbors.
+		for _, l := range c.Labels() {
+			if len(c.Neighbors(l)) != dim {
+				t.Fatalf("node %v has %d neighbors want %d", l, len(c.Neighbors(l)), dim)
+			}
+		}
+	}
+}
+
+func TestAddRemove(t *testing.T) {
+	c := New(3)
+	if c.Count() != 0 || c.Has(0) {
+		t.Fatal("fresh cube should be empty")
+	}
+	c.Add(5)
+	c.Add(5) // idempotent
+	if c.Count() != 1 || !c.Has(5) {
+		t.Fatal("Add failed")
+	}
+	c.Remove(5)
+	c.Remove(5) // idempotent
+	if c.Count() != 0 || c.Has(5) {
+		t.Fatal("Remove failed")
+	}
+}
+
+func TestAddOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(3).Add(8)
+}
+
+func TestECubePath(t *testing.T) {
+	// E-cube corrects lowest dimension first.
+	path := ECubePath(0b000, 0b101)
+	want := []Label{0b000, 0b001, 0b101}
+	if len(path) != len(want) {
+		t.Fatalf("path %v want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path %v want %v", path, want)
+		}
+	}
+	if got := ECubeNext(3, 3); got != 3 {
+		t.Fatalf("self next %v", got)
+	}
+}
+
+func TestECubePathLengthIsHammingProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		src, dst := Label(a&0xFF), Label(b&0xFF)
+		return len(ECubePath(src, dst))-1 == Hamming(src, dst)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteComplete(t *testing.T) {
+	c := Complete(4)
+	p := c.Route(0b0000, 0b1111)
+	if len(p) != 5 {
+		t.Fatalf("route length %d want 5", len(p))
+	}
+	if p[0] != 0 || p[len(p)-1] != 0b1111 {
+		t.Fatal("route endpoints wrong")
+	}
+	for i := 1; i < len(p); i++ {
+		if Hamming(p[i-1], p[i]) != 1 {
+			t.Fatalf("route step %v -> %v is not a hypercube edge", p[i-1], p[i])
+		}
+	}
+}
+
+func TestRouteAroundFault(t *testing.T) {
+	c := Complete(3)
+	// E-cube path 000 -> 001 -> 011 -> 111; remove 001 to force detour.
+	c.Remove(0b001)
+	p := c.Route(0b000, 0b111)
+	if p == nil {
+		t.Fatal("route should exist around single fault")
+	}
+	if len(p)-1 != 3 { // another shortest path exists: 000-010-011-111
+		t.Fatalf("detour length %d want 3", len(p)-1)
+	}
+	for _, l := range p {
+		if l == 0b001 {
+			t.Fatal("route used removed node")
+		}
+	}
+}
+
+func TestRouteDisconnected(t *testing.T) {
+	c := New(3)
+	c.Add(0b000)
+	c.Add(0b111)
+	if p := c.Route(0b000, 0b111); p != nil {
+		t.Fatalf("route across void should be nil, got %v", p)
+	}
+	if d := c.Distance(0b000, 0b111); d != -1 {
+		t.Fatalf("distance %d want -1", d)
+	}
+}
+
+func TestRouteSelf(t *testing.T) {
+	c := Complete(3)
+	p := c.Route(5, 5)
+	if len(p) != 1 || p[0] != 5 {
+		t.Fatalf("self route %v", p)
+	}
+	if c.Distance(5, 5) != 0 {
+		t.Fatal("self distance")
+	}
+}
+
+func TestRouteMissingEndpoint(t *testing.T) {
+	c := Complete(3)
+	c.Remove(0)
+	if c.Route(0, 5) != nil || c.Route(5, 0) != nil {
+		t.Fatal("route to/from absent node should be nil")
+	}
+}
+
+func TestDisjointPathsCount(t *testing.T) {
+	// The paper: n node-disjoint paths between each pair.
+	for dim := 2; dim <= 6; dim++ {
+		paths := DisjointPaths(0, Label(1<<uint(dim))-1, dim)
+		if len(paths) != dim {
+			t.Fatalf("dim %d: %d paths want %d", dim, len(paths), dim)
+		}
+	}
+	paths := DisjointPaths(0b0000, 0b0011, 4)
+	if len(paths) != 4 {
+		t.Fatalf("got %d paths want 4", len(paths))
+	}
+}
+
+func TestDisjointPathsAreDisjointAndValid(t *testing.T) {
+	rng := xrand.New(1)
+	for trial := 0; trial < 200; trial++ {
+		dim := 2 + rng.Intn(5)
+		src := Label(rng.Intn(1 << uint(dim)))
+		dst := Label(rng.Intn(1 << uint(dim)))
+		if src == dst {
+			continue
+		}
+		paths := DisjointPaths(src, dst, dim)
+		interior := map[Label]int{}
+		for pi, p := range paths {
+			if p[0] != src || p[len(p)-1] != dst {
+				t.Fatalf("path %d endpoints wrong: %v", pi, p)
+			}
+			for i := 1; i < len(p); i++ {
+				if Hamming(p[i-1], p[i]) != 1 {
+					t.Fatalf("path %d has non-edge step: %v", pi, p)
+				}
+			}
+			for _, l := range p[1 : len(p)-1] {
+				if prev, ok := interior[l]; ok {
+					t.Fatalf("node %v shared by paths %d and %d", l, prev, pi)
+				}
+				interior[l] = pi
+			}
+		}
+	}
+}
+
+func TestDisjointPathsSelf(t *testing.T) {
+	paths := DisjointPaths(3, 3, 4)
+	if len(paths) != 1 || len(paths[0]) != 1 {
+		t.Fatalf("self paths %v", paths)
+	}
+}
+
+func TestAvailablePaths(t *testing.T) {
+	c := Complete(4)
+	if got := c.AvailablePaths(0b0000, 0b1111); got != 4 {
+		t.Fatalf("complete cube available paths %d want 4", got)
+	}
+	// Removing one interior node kills at most one disjoint path.
+	c.Remove(0b0001)
+	got := c.AvailablePaths(0b0000, 0b1111)
+	if got != 3 {
+		t.Fatalf("after one fault %d want 3", got)
+	}
+	if c.AvailablePaths(0b0001, 0b1111) != 0 {
+		t.Fatal("absent endpoint should have 0 paths")
+	}
+}
+
+// The paper's fault-tolerance claim: the n-cube survives any n-1 node
+// failures (connectivity of the rest, when the failed nodes are interior
+// to routes, still allows routing between surviving pairs).
+func TestSustainsNMinus1Failures(t *testing.T) {
+	rng := xrand.New(2)
+	for trial := 0; trial < 100; trial++ {
+		dim := 3 + rng.Intn(3)
+		c := Complete(dim)
+		// Fail dim-1 random nodes (never src/dst).
+		src := Label(0)
+		dst := Label(1<<uint(dim)) - 1
+		failed := 0
+		for failed < dim-1 {
+			l := Label(rng.Intn(1 << uint(dim)))
+			if l == src || l == dst || !c.Has(l) {
+				continue
+			}
+			c.Remove(l)
+			failed++
+		}
+		if c.Route(src, dst) == nil {
+			t.Fatalf("dim %d: src-dst disconnected by only %d failures", dim, dim-1)
+		}
+	}
+}
+
+func TestConnected(t *testing.T) {
+	c := New(3)
+	if !c.Connected() {
+		t.Fatal("empty cube is vacuously connected")
+	}
+	c.Add(0)
+	if !c.Connected() {
+		t.Fatal("singleton connected")
+	}
+	c.Add(0b111)
+	if c.Connected() {
+		t.Fatal("two antipodal nodes are disconnected")
+	}
+	c.Add(0b001)
+	c.Add(0b011)
+	if !c.Connected() {
+		t.Fatal("chain should be connected")
+	}
+}
+
+func TestDiameterIncomplete(t *testing.T) {
+	c := Complete(3)
+	// Removing node 001 lengthens no pair beyond 3 in a 3-cube? It can:
+	// dist(000,011) becomes 000-010-011 = 2 still. Diameter stays 3.
+	c.Remove(0b001)
+	if d := c.Diameter(); d < 3 {
+		t.Fatalf("diameter %d want >= 3", d)
+	}
+	empty := New(3)
+	if empty.Diameter() != -1 {
+		t.Fatal("empty diameter should be -1")
+	}
+}
+
+func TestMulticastTreeComplete(t *testing.T) {
+	c := Complete(4)
+	root := Label(0b0000)
+	dests := []Label{0b0001, 0b0011, 0b1111, 0b1000}
+	tree, missed := c.MulticastTree(root, dests)
+	if len(missed) != 0 {
+		t.Fatalf("missed %v", missed)
+	}
+	for _, d := range dests {
+		// Every destination must reach the root via parent pointers.
+		cur := d
+		for steps := 0; cur != root; steps++ {
+			if steps > 16 {
+				t.Fatalf("dest %v does not reach root", d)
+			}
+			parent, ok := tree[cur]
+			if !ok {
+				t.Fatalf("dest %v dangling at %v", d, cur)
+			}
+			if Hamming(parent, cur) != 1 {
+				t.Fatalf("tree edge %v-%v not a hypercube edge", parent, cur)
+			}
+			cur = parent
+		}
+	}
+}
+
+func TestMulticastTreeSharesPrefixes(t *testing.T) {
+	c := Complete(4)
+	// Destinations 0011 and 0111 share the e-cube prefix through 0001
+	// and 0011; tree size should reflect sharing, not two full paths.
+	tree, _ := c.MulticastTree(0b0000, []Label{0b0011, 0b0111})
+	// Nodes: 0000, 0001, 0011, 0111 => 4 entries.
+	if len(tree) != 4 {
+		t.Fatalf("tree has %d nodes want 4 (prefix sharing): %v", len(tree), tree)
+	}
+}
+
+func TestMulticastTreeAroundFaults(t *testing.T) {
+	c := Complete(4)
+	c.Remove(0b0001) // blocks the e-cube path 0000->0001->0011
+	tree, missed := c.MulticastTree(0b0000, []Label{0b0011})
+	if len(missed) != 0 {
+		t.Fatalf("missed %v despite alternate routes", missed)
+	}
+	cur := Label(0b0011)
+	for cur != 0b0000 {
+		parent, ok := tree[cur]
+		if !ok {
+			t.Fatal("dangling tree node")
+		}
+		if parent == 0b0001 {
+			t.Fatal("tree uses removed node")
+		}
+		cur = parent
+	}
+}
+
+func TestMulticastTreeMissedDests(t *testing.T) {
+	c := Complete(3)
+	c.Remove(0b111)
+	_, missed := c.MulticastTree(0, []Label{0b111, 0b011})
+	if len(missed) != 1 || missed[0] != 0b111 {
+		t.Fatalf("missed %v want [111]", missed)
+	}
+	// Absent root: everything missed.
+	c2 := New(3)
+	c2.Add(1)
+	_, missed2 := c2.MulticastTree(0, []Label{1})
+	if len(missed2) != 1 {
+		t.Fatalf("absent root should miss all dests, got %v", missed2)
+	}
+}
+
+func TestTreeEdges(t *testing.T) {
+	tree := map[Label]Label{0: 0, 1: 0, 3: 1, 2: 0}
+	edges := TreeEdges(tree)
+	if len(edges[0]) != 2 {
+		t.Fatalf("root children %v", edges[0])
+	}
+	if len(edges[1]) != 1 || edges[1][0] != 3 {
+		t.Fatalf("node 1 children %v", edges[1])
+	}
+}
+
+func TestSubcubePartition(t *testing.T) {
+	c := Complete(3)
+	zero, one := c.SubcubePartition(2)
+	if len(zero) != 4 || len(one) != 4 {
+		t.Fatalf("partition sizes %d %d", len(zero), len(one))
+	}
+	for _, l := range zero {
+		if l.Bit(2) != 0 {
+			t.Fatalf("label %v in zero half", l)
+		}
+	}
+	for _, l := range one {
+		if l.Bit(2) != 1 {
+			t.Fatalf("label %v in one half", l)
+		}
+	}
+}
+
+// Property: in random incomplete cubes, Route returns a valid present
+// path whenever the endpoints are connected, and its length equals BFS
+// distance (shortest).
+func TestRouteShortestProperty(t *testing.T) {
+	rng := xrand.New(3)
+	for trial := 0; trial < 300; trial++ {
+		dim := 3 + rng.Intn(3)
+		c := Complete(dim)
+		removals := rng.Intn(c.Size() / 2)
+		for i := 0; i < removals; i++ {
+			c.Remove(Label(rng.Intn(c.Size())))
+		}
+		labels := c.Labels()
+		if len(labels) < 2 {
+			continue
+		}
+		src := labels[rng.Intn(len(labels))]
+		dst := labels[rng.Intn(len(labels))]
+		p := c.Route(src, dst)
+		want := c.bfs(src, dst)
+		if src == dst {
+			continue
+		}
+		if (p == nil) != (want == nil) {
+			t.Fatalf("route/bfs disagree on reachability %v->%v", src, dst)
+		}
+		if p == nil {
+			continue
+		}
+		if len(p) != len(want) {
+			t.Fatalf("route len %d but bfs len %d", len(p), len(want))
+		}
+		for i := 1; i < len(p); i++ {
+			if Hamming(p[i-1], p[i]) != 1 || !c.Has(p[i]) {
+				t.Fatalf("invalid route %v", p)
+			}
+		}
+	}
+}

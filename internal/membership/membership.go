@@ -1,0 +1,609 @@
+// Package membership implements the paper's Figure 5 algorithm:
+// summary-based membership update across the three tiers.
+//
+//	Local-Membership — which groups each mobile node has joined; sent
+//	    periodically from each MN to its CH.
+//	MNT-Summary — the CH's aggregation over its cluster members; sent
+//	    periodically to all the CHs within its logical hypercube
+//	    (realized as a scoped flood over intra-hypercube logical links).
+//	HT-Summary — each CH's aggregation over the MNT-Summaries of its
+//	    hypercube; one *designated* CH per hypercube broadcasts it to all
+//	    CHs in the whole network. Designation needs no coordination: each
+//	    CH applies the paper's criterion — the largest total number of
+//	    group members held by itself and its 1-logical-hop neighbor CHs
+//	    — to its own collected summaries and self-selects on a tie-break
+//	    by lowest CHID.
+//	MT-Summary — each CH's map from group to the set of hypercubes
+//	    containing members, consumed by the multicast routing algorithm.
+//
+// Timeouts follow the paper's observation that "the timeout interval for
+// broadcasting HT-Summary messages can be set much more larger than that
+// for sending MNT-Summary or Local-Membership messages".
+package membership
+
+import (
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/logicalid"
+	"repro/internal/network"
+	"repro/internal/trace"
+	"repro/internal/vcgrid"
+)
+
+// Group identifies a multicast group.
+type Group int
+
+// Packet kinds of the membership plane.
+const (
+	LocalKind = "local-membership"
+	MNTKind   = "mnt-summary"
+	HTKind    = "ht-summary"
+)
+
+// Config parameterizes the membership plane.
+type Config struct {
+	// LocalPeriod is the MN -> CH Local-Membership interval.
+	LocalPeriod des.Duration
+	// MNTPeriod is the CH -> hypercube MNT-Summary interval.
+	MNTPeriod des.Duration
+	// HTPeriod is the designated-CH network-wide HT-Summary interval.
+	HTPeriod des.Duration
+	// LocalTTL expires a member's report at its CH when not refreshed —
+	// covering members that move to another cluster or die silently.
+	LocalTTL des.Duration
+	// Header and GroupEntry size the messages in bytes.
+	Header, GroupEntry int
+	// Designation selects the HT-broadcaster criterion (§4.2 discusses
+	// the alternatives); see the Designate* constants.
+	Designation DesignationPolicy
+	// MultiHome reports Local-Membership to *every* covering cluster
+	// (the paper's §3 overlap: "an MN within the overlapped regions can
+	// be a cluster member of two or multiple clusters at the same time
+	// for more reliable communications"), at proportionally higher
+	// report cost. Off, a node reports only to its home VC's CH.
+	MultiHome bool
+}
+
+// DesignationPolicy selects which CH self-designates as its hypercube's
+// HT-Summary broadcaster.
+type DesignationPolicy int
+
+const (
+	// DesignateSelfPlusNeighbors is the paper's preferred criterion:
+	// the CH whose own plus 1-logical-hop neighbors' total group
+	// membership is largest.
+	DesignateSelfPlusNeighbors DesignationPolicy = iota
+	// DesignateSelf uses only the CH's own membership count (the
+	// paper's simpler alternative).
+	DesignateSelf
+	// DesignateFixed always picks the lowest CHID with a CH — the
+	// "always designate the same CH" strawman the paper rejects as a
+	// bottleneck/reliability risk.
+	DesignateFixed
+)
+
+// DefaultConfig uses a 1:2:8 cadence, HT slowest per the paper.
+func DefaultConfig() Config {
+	return Config{LocalPeriod: 1, MNTPeriod: 2, HTPeriod: 8, LocalTTL: 2.5, Header: 12, GroupEntry: 6}
+}
+
+// slotState is the membership view accumulated at one CH slot.
+type slotState struct {
+	// localView: group -> member nodes of this cluster with the time
+	// their report was last refreshed (from Local-Membership messages).
+	localView map[Group]map[network.NodeID]des.Time
+	// mntView: origin slot (same hypercube) -> that slot's group counts.
+	mntView map[logicalid.CHID]map[Group]int
+	// mtView: group -> hypercubes known to contain members (from
+	// HT-Summary broadcasts plus own hypercube).
+	mtView map[Group]map[logicalid.HID]bool
+	// seq tracking for flood dedup: origin slot -> highest seq seen.
+	seenMNT map[logicalid.CHID]uint64
+	seenHT  map[logicalid.CHID]uint64
+}
+
+func newSlotState() *slotState {
+	return &slotState{
+		localView: make(map[Group]map[network.NodeID]des.Time),
+		mntView:   make(map[logicalid.CHID]map[Group]int),
+		mtView:    make(map[Group]map[logicalid.HID]bool),
+		seenMNT:   make(map[logicalid.CHID]uint64),
+		seenHT:    make(map[logicalid.CHID]uint64),
+	}
+}
+
+// summaryMsg is the wire form of MNT- and HT-Summary floods.
+type summaryMsg struct {
+	Origin logicalid.CHID
+	HID    logicalid.HID
+	Seq    uint64
+	Groups map[Group]int
+}
+
+// localMsg is the wire form of Local-Membership reports.
+type localMsg struct {
+	Member network.NodeID
+	Groups []Group
+}
+
+// Service runs the membership plane over a backbone.
+type Service struct {
+	bb  *core.Backbone
+	cfg Config
+	tr  trace.Tracer
+
+	joined   []map[Group]bool // by node ID
+	reported []bool           // nodes that sent a non-empty report last round
+	slots    map[logicalid.CHID]*slotState
+	seq      uint64
+
+	tickers []*des.Ticker
+
+	// HTBroadcasts counts designated-CH broadcasts for overhead
+	// experiments.
+	HTBroadcasts uint64
+}
+
+// New wires a membership service onto the backbone's logical transport.
+func New(bb *core.Backbone, cfg Config) *Service {
+	if cfg.LocalPeriod <= 0 {
+		cfg = DefaultConfig()
+	}
+	s := &Service{
+		bb:       bb,
+		cfg:      cfg,
+		tr:       trace.Nop,
+		joined:   make([]map[Group]bool, bb.Net().Len()),
+		reported: make([]bool, bb.Net().Len()),
+		slots:    make(map[logicalid.CHID]*slotState),
+	}
+	bb.HandleInner(LocalKind, s.onLocal)
+	bb.HandleInner(MNTKind, s.onMNT)
+	bb.HandleInner(HTKind, s.onHT)
+	return s
+}
+
+// SetTracer installs a tracer; nil resets to no-op.
+func (s *Service) SetTracer(t trace.Tracer) {
+	if t == nil {
+		t = trace.Nop
+	}
+	s.tr = t
+}
+
+// grow ensures per-node state covers nodes added after construction.
+func (s *Service) grow(id network.NodeID) {
+	if int(id) >= len(s.joined) {
+		s.joined = append(s.joined, make([]map[Group]bool, int(id)+1-len(s.joined))...)
+	}
+	if int(id) >= len(s.reported) {
+		s.reported = append(s.reported, make([]bool, int(id)+1-len(s.reported))...)
+	}
+}
+
+// Join records that the node joined the group (Figure 5 step 1); the
+// change propagates on the next Local-Membership round.
+func (s *Service) Join(id network.NodeID, g Group) {
+	s.grow(id)
+	if s.joined[id] == nil {
+		s.joined[id] = make(map[Group]bool)
+	}
+	s.joined[id][g] = true
+}
+
+// Leave records that the node left the group.
+func (s *Service) Leave(id network.NodeID, g Group) {
+	s.grow(id)
+	delete(s.joined[id], g)
+}
+
+// GroupsOf returns the groups the node has joined, sorted.
+func (s *Service) GroupsOf(id network.NodeID) []Group {
+	s.grow(id)
+	out := make([]Group, 0, len(s.joined[id]))
+	for g := range s.joined[id] {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Start schedules the three periodic rounds.
+func (s *Service) Start() {
+	sim := s.bb.Net().Sim()
+	s.tickers = append(s.tickers,
+		sim.Every(s.cfg.LocalPeriod, s.cfg.LocalPeriod, s.LocalRound),
+		sim.Every(s.cfg.MNTPeriod, s.cfg.MNTPeriod, s.MNTRound),
+		sim.Every(s.cfg.HTPeriod, s.cfg.HTPeriod, s.HTRound),
+	)
+}
+
+// Stop cancels the periodic rounds.
+func (s *Service) Stop() {
+	for _, t := range s.tickers {
+		t.Stop()
+	}
+	s.tickers = nil
+}
+
+func (s *Service) slot(c logicalid.CHID) *slotState {
+	st, ok := s.slots[c]
+	if !ok {
+		st = newSlotState()
+		s.slots[c] = st
+	}
+	return st
+}
+
+// LocalRound is Figure 5 step 2: every member MN reports its
+// Local-Membership to its cluster head.
+func (s *Service) LocalRound() {
+	net := s.bb.Net()
+	cm := s.bb.Clusters()
+	grid := s.bb.Scheme().Grid()
+	for _, n := range net.Nodes() {
+		if !n.Up() {
+			continue
+		}
+		s.grow(n.ID)
+		// A node reports when it has memberships, plus one final empty
+		// report right after leaving its last group so the CH forgets it
+		// immediately.
+		if len(s.joined[n.ID]) == 0 && !s.reported[n.ID] {
+			continue
+		}
+		s.reported[n.ID] = len(s.joined[n.ID]) > 0
+		pos := n.Fix().Pos
+		vcs := []vcgrid.VC{grid.VCOf(pos)}
+		if s.cfg.MultiHome {
+			vcs = grid.Covering(pos)
+		}
+		groups := s.GroupsOf(n.ID)
+		msg := &localMsg{Member: n.ID, Groups: groups}
+		for _, vc := range vcs {
+			ch := cm.CHOf(vc)
+			if ch == network.NoNode {
+				continue
+			}
+			if ch == n.ID {
+				// The CH reports to itself without radio traffic.
+				s.absorbLocal(logicalid.CHID(grid.Index(vc)), msg)
+				continue
+			}
+			pkt := &network.Packet{
+				Kind: LocalKind, Src: n.ID, Dst: ch,
+				Size: s.cfg.Header + len(groups)*s.cfg.GroupEntry, Control: true,
+				Born: net.Sim().Now(), UID: net.NextUID(), Payload: msg,
+			}
+			s.bb.Geo().Send(n.ID, grid.Center(vc), ch, pkt)
+		}
+	}
+}
+
+func (s *Service) onLocal(n *network.Node, _ network.NodeID, pkt *network.Packet) {
+	msg, ok := pkt.Payload.(*localMsg)
+	if !ok {
+		return
+	}
+	slot := s.bb.SlotOfNode(n.ID)
+	if slot < 0 {
+		return
+	}
+	s.absorbLocal(slot, msg)
+}
+
+func (s *Service) absorbLocal(slot logicalid.CHID, msg *localMsg) {
+	st := s.slot(slot)
+	now := s.bb.Net().Sim().Now()
+	// Replace this member's memberships.
+	for g, members := range st.localView {
+		delete(members, msg.Member)
+		if len(members) == 0 {
+			delete(st.localView, g)
+		}
+	}
+	for _, g := range msg.Groups {
+		m, ok := st.localView[g]
+		if !ok {
+			m = make(map[network.NodeID]des.Time)
+			st.localView[g] = m
+		}
+		m[msg.Member] = now
+	}
+}
+
+// fresh reports whether a member's report is still within LocalTTL.
+func (s *Service) fresh(seen des.Time) bool {
+	if s.cfg.LocalTTL <= 0 {
+		return true
+	}
+	return s.bb.Net().Sim().Now()-seen <= s.cfg.LocalTTL
+}
+
+// MNTSummary returns the CH slot's aggregated cluster membership:
+// group -> member count (Figure 5 step 3's message body).
+func (s *Service) MNTSummary(slot logicalid.CHID) map[Group]int {
+	st := s.slot(slot)
+	out := make(map[Group]int, len(st.localView))
+	for g, members := range st.localView {
+		n := 0
+		for _, seen := range members {
+			if s.fresh(seen) {
+				n++
+			}
+		}
+		if n > 0 {
+			out[g] = n
+		}
+	}
+	return out
+}
+
+// LocalMembers returns the nodes of the slot's cluster known to have
+// joined the group — the delivery set of Figure 6 step 6.
+func (s *Service) LocalMembers(slot logicalid.CHID, g Group) []network.NodeID {
+	st := s.slot(slot)
+	out := make([]network.NodeID, 0, len(st.localView[g]))
+	for id, seen := range st.localView[g] {
+		if s.fresh(seen) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MNTRound is Figure 5 step 3: every CH floods its MNT-Summary to all
+// CHs within its hypercube.
+func (s *Service) MNTRound() {
+	scheme := s.bb.Scheme()
+	for vc, ch := range s.bb.Clusters().Heads() {
+		slot := logicalid.CHID(scheme.Grid().Index(vc))
+		place := scheme.PlaceOf(vc)
+		s.seq++
+		msg := &summaryMsg{Origin: slot, HID: place.HID, Seq: s.seq, Groups: s.MNTSummary(slot)}
+		// Record our own summary in our own view first.
+		st := s.slot(slot)
+		st.mntView[slot] = msg.Groups
+		st.seenMNT[slot] = msg.Seq
+		s.floodMNT(slot, msg, ch)
+	}
+}
+
+// floodMNT forwards an MNT summary to intra-hypercube logical neighbors
+// that have not seen it (the sender cannot know, so it sends to all and
+// receivers dedup — standard scoped flooding).
+func (s *Service) floodMNT(from logicalid.CHID, msg *summaryMsg, ch network.NodeID) {
+	scheme := s.bb.Scheme()
+	size := s.cfg.Header + len(msg.Groups)*s.cfg.GroupEntry
+	for _, nb := range s.bb.LogicalNeighbors(from) {
+		if scheme.CHIDToPlace(nb).HID != msg.HID {
+			continue // MNT summaries stay within the hypercube
+		}
+		pkt := &network.Packet{
+			Kind: MNTKind, Src: ch, Dst: s.bb.CHNodeOf(nb),
+			Size: size, Control: true, Born: s.bb.Net().Sim().Now(),
+			UID: s.bb.Net().NextUID(), Payload: msg,
+		}
+		s.bb.SendLogical(from, nb, pkt)
+	}
+}
+
+func (s *Service) onMNT(n *network.Node, _ network.NodeID, pkt *network.Packet) {
+	msg, ok := pkt.Payload.(*summaryMsg)
+	if !ok {
+		return
+	}
+	slot := s.bb.SlotOfNode(n.ID)
+	if slot < 0 {
+		return
+	}
+	st := s.slot(slot)
+	if st.seenMNT[msg.Origin] >= msg.Seq {
+		return // duplicate
+	}
+	st.seenMNT[msg.Origin] = msg.Seq
+	st.mntView[msg.Origin] = msg.Groups
+	s.floodMNT(slot, msg, n.ID) // continue the scoped flood
+}
+
+// HTSummary returns the slot's aggregation over its hypercube (Figure 5
+// step 4's message body): group -> total member count in the hypercube.
+func (s *Service) HTSummary(slot logicalid.CHID) map[Group]int {
+	st := s.slot(slot)
+	out := make(map[Group]int)
+	for _, groups := range st.mntView {
+		for g, c := range groups {
+			out[g] += c
+		}
+	}
+	return out
+}
+
+// Designated reports whether the slot currently self-selects as its
+// hypercube's HT broadcaster: the paper's criterion of the largest
+// total membership over itself and its 1-logical-hop neighbor CHs,
+// breaking ties by lowest CHID.
+func (s *Service) Designated(slot logicalid.CHID) bool {
+	scheme := s.bb.Scheme()
+	myHID := scheme.CHIDToPlace(slot).HID
+	st := s.slot(slot)
+	if s.cfg.Designation == DesignateFixed {
+		// Lowest occupied CHID of the hypercube always broadcasts.
+		for _, vc := range scheme.BlockVCs(myHID) {
+			c := logicalid.CHID(scheme.Grid().Index(vc))
+			if s.bb.CHNodeOf(c) != network.NoNode {
+				return c == slot
+			}
+		}
+		return false
+	}
+	score := func(c logicalid.CHID) int {
+		total := 0
+		for _, cnt := range st.mntView[c] {
+			total += cnt
+		}
+		if s.cfg.Designation == DesignateSelf {
+			return total
+		}
+		for _, nb := range s.bb.LogicalNeighbors(c) {
+			if scheme.CHIDToPlace(nb).HID != myHID {
+				continue
+			}
+			for _, cnt := range st.mntView[nb] {
+				total += cnt
+			}
+		}
+		return total
+	}
+	mine := score(slot)
+	for origin := range st.mntView {
+		if origin == slot || scheme.CHIDToPlace(origin).HID != myHID {
+			continue
+		}
+		if s.bb.CHNodeOf(origin) == network.NoNode {
+			continue
+		}
+		other := score(origin)
+		if other > mine || (other == mine && origin < slot) {
+			return false
+		}
+	}
+	return true
+}
+
+// HTRound is Figure 5 step 4: each CH summarizes its MNT view and, if
+// designated, broadcasts the HT-Summary to all CHs in the network.
+func (s *Service) HTRound() {
+	scheme := s.bb.Scheme()
+	for vc, ch := range s.bb.Clusters().Heads() {
+		slot := logicalid.CHID(scheme.Grid().Index(vc))
+		place := scheme.PlaceOf(vc)
+		// Every CH folds its own hypercube into its MT view (step 5).
+		summary := s.HTSummary(slot)
+		s.recordMT(slot, place.HID, summary)
+		if !s.Designated(slot) {
+			continue
+		}
+		s.HTBroadcasts++
+		s.seq++
+		msg := &summaryMsg{Origin: slot, HID: place.HID, Seq: s.seq, Groups: summary}
+		st := s.slot(slot)
+		st.seenHT[slot] = msg.Seq
+		s.floodHT(slot, msg, ch)
+	}
+}
+
+// floodHT forwards an HT summary network-wide over logical links.
+func (s *Service) floodHT(from logicalid.CHID, msg *summaryMsg, ch network.NodeID) {
+	size := s.cfg.Header + len(msg.Groups)*s.cfg.GroupEntry
+	for _, nb := range s.bb.LogicalNeighbors(from) {
+		pkt := &network.Packet{
+			Kind: HTKind, Src: ch, Dst: s.bb.CHNodeOf(nb),
+			Size: size, Control: true, Born: s.bb.Net().Sim().Now(),
+			UID: s.bb.Net().NextUID(), Payload: msg,
+		}
+		s.bb.SendLogical(from, nb, pkt)
+	}
+}
+
+func (s *Service) onHT(n *network.Node, _ network.NodeID, pkt *network.Packet) {
+	msg, ok := pkt.Payload.(*summaryMsg)
+	if !ok {
+		return
+	}
+	slot := s.bb.SlotOfNode(n.ID)
+	if slot < 0 {
+		return
+	}
+	st := s.slot(slot)
+	if st.seenHT[msg.Origin] >= msg.Seq {
+		return
+	}
+	st.seenHT[msg.Origin] = msg.Seq
+	s.recordMT(slot, msg.HID, msg.Groups)
+	s.floodHT(slot, msg, n.ID)
+}
+
+// recordMT merges an HT summary into a slot's MT view (Figure 5 step 5).
+func (s *Service) recordMT(slot logicalid.CHID, hid logicalid.HID, groups map[Group]int) {
+	st := s.slot(slot)
+	// Clear stale claims of this hypercube first: a group that vanished
+	// from hid must not linger in the MT view.
+	for g, hids := range st.mtView {
+		if hids[hid] {
+			if _, still := groups[g]; !still {
+				delete(hids, hid)
+				if len(hids) == 0 {
+					delete(st.mtView, g)
+				}
+			}
+		}
+	}
+	for g, cnt := range groups {
+		if cnt <= 0 {
+			continue
+		}
+		hids, ok := st.mtView[g]
+		if !ok {
+			hids = make(map[logicalid.HID]bool)
+			st.mtView[g] = hids
+		}
+		hids[hid] = true
+	}
+	s.tr.Eventf(trace.Membership, float64(s.bb.Net().Sim().Now()),
+		"slot %d MT view merged summary of hypercube %d (%d groups)", slot, hid, len(groups))
+}
+
+// MTSummary returns the hypercubes the slot believes contain members of
+// the group — Figure 6's routing input. The map is a copy.
+func (s *Service) MTSummary(slot logicalid.CHID, g Group) map[logicalid.HID]bool {
+	out := make(map[logicalid.HID]bool)
+	for h := range s.slot(slot).mtView[g] {
+		out[h] = true
+	}
+	return out
+}
+
+// CubeMembers returns the CH slots within the given slot's hypercube
+// that, per this slot's collected MNT-Summaries, host members of the
+// group — the destination set of the hypercube-tier multicast tree
+// (Figure 6 step 4). The caller's own slot is included when it has
+// local members.
+func (s *Service) CubeMembers(slot logicalid.CHID, g Group) []logicalid.CHID {
+	scheme := s.bb.Scheme()
+	myHID := scheme.CHIDToPlace(slot).HID
+	st := s.slot(slot)
+	var out []logicalid.CHID
+	for origin, groups := range st.mntView {
+		if scheme.CHIDToPlace(origin).HID != myHID {
+			continue
+		}
+		if groups[g] > 0 {
+			out = append(out, origin)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GroupsAt returns the groups the slot's MT view knows anywhere in the
+// network, sorted; useful for assertions and tooling.
+func (s *Service) GroupsAt(slot logicalid.CHID) []Group {
+	st := s.slot(slot)
+	out := make([]Group, 0, len(st.mtView))
+	for g := range st.mtView {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HTGroupsKnown returns how many hypercube slots the MT view of the
+// given slot attributes to the group (coverage measure for convergence
+// experiments).
+func (s *Service) HTGroupsKnown(slot logicalid.CHID, g Group) int {
+	return len(s.slot(slot).mtView[g])
+}

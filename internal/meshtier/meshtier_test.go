@@ -1,0 +1,274 @@
+package meshtier
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestShapeAndCoords(t *testing.T) {
+	m := Complete(4, 3)
+	if m.Cols() != 4 || m.Rows() != 3 || m.Size() != 12 || m.Count() != 12 {
+		t.Fatal("shape wrong")
+	}
+	x, y := m.Coord(7)
+	if x != 3 || y != 1 {
+		t.Fatalf("Coord(7) = %d,%d", x, y)
+	}
+	if m.At(3, 1) != 7 {
+		t.Fatalf("At(3,1) = %d", m.At(3, 1))
+	}
+	if m.At(-1, 0) != -1 || m.At(4, 0) != -1 || m.At(0, 3) != -1 {
+		t.Fatal("out-of-mesh At should be -1")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(0, 5)
+}
+
+func TestAddRemove(t *testing.T) {
+	m := New(3, 3)
+	m.Add(4)
+	m.Add(4)
+	if m.Count() != 1 || !m.Has(4) {
+		t.Fatal("Add failed")
+	}
+	m.Remove(4)
+	if m.Count() != 0 || m.Has(4) {
+		t.Fatal("Remove failed")
+	}
+	if m.Has(-1) || m.Has(9) {
+		t.Fatal("out-of-range Has should be false")
+	}
+}
+
+func TestAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	New(2, 2).Add(4)
+}
+
+func TestNeighbors(t *testing.T) {
+	m := Complete(3, 3)
+	if got := len(m.Neighbors(4)); got != 4 { // center
+		t.Fatalf("center neighbors %d", got)
+	}
+	if got := len(m.Neighbors(0)); got != 2 { // corner
+		t.Fatalf("corner neighbors %d", got)
+	}
+	m.Remove(1)
+	if got := len(m.Neighbors(0)); got != 1 {
+		t.Fatalf("neighbors after removal %d", got)
+	}
+}
+
+func TestXYPath(t *testing.T) {
+	m := Complete(4, 4)
+	p := m.XYPath(0, 15) // (0,0) -> (3,3)
+	if len(p) != 7 {
+		t.Fatalf("XY path length %d want 7", len(p))
+	}
+	// X-first: second node is (1,0) = 1.
+	if p[1] != 1 {
+		t.Fatalf("XY path %v should go x-first", p)
+	}
+	// Reverse direction.
+	q := m.XYPath(15, 0)
+	if len(q) != 7 || q[1] != 14 {
+		t.Fatalf("reverse XY path %v", q)
+	}
+}
+
+func TestRouteCompleteAndFault(t *testing.T) {
+	m := Complete(4, 4)
+	p := m.Route(0, 15)
+	if len(p) != 7 {
+		t.Fatalf("route length %d", len(p))
+	}
+	// Punch out the XY path's corner; route must detour at same length.
+	m.Remove(3) // (3,0), the XY turn point
+	p = m.Route(0, 15)
+	if p == nil || len(p) != 7 {
+		t.Fatalf("detour route %v", p)
+	}
+	for _, id := range p {
+		if id == 3 {
+			t.Fatal("route through removed node")
+		}
+	}
+}
+
+func TestRouteAdjacencyValidity(t *testing.T) {
+	rng := xrand.New(1)
+	for trial := 0; trial < 200; trial++ {
+		m := Complete(5, 5)
+		for i := 0; i < 8; i++ {
+			m.Remove(rng.Intn(25))
+		}
+		ids := m.Present()
+		if len(ids) < 2 {
+			continue
+		}
+		src := ids[rng.Intn(len(ids))]
+		dst := ids[rng.Intn(len(ids))]
+		p := m.Route(src, dst)
+		if p == nil {
+			continue
+		}
+		for i := 1; i < len(p); i++ {
+			x1, y1 := m.Coord(p[i-1])
+			x2, y2 := m.Coord(p[i])
+			man := abs(x1-x2) + abs(y1-y2)
+			if man != 1 || !m.Has(p[i]) {
+				t.Fatalf("invalid route step %d->%d in %v", p[i-1], p[i], p)
+			}
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestRouteDisconnected(t *testing.T) {
+	m := New(3, 1)
+	m.Add(0)
+	m.Add(2)
+	if m.Route(0, 2) != nil {
+		t.Fatal("disconnected route should be nil")
+	}
+	if m.Distance(0, 2) != -1 {
+		t.Fatal("disconnected distance should be -1")
+	}
+}
+
+func TestRouteSelfAndMissing(t *testing.T) {
+	m := Complete(2, 2)
+	if p := m.Route(1, 1); len(p) != 1 {
+		t.Fatalf("self route %v", p)
+	}
+	m.Remove(0)
+	if m.Route(0, 1) != nil || m.Route(1, 0) != nil {
+		t.Fatal("route with absent endpoint should be nil")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	m := New(3, 3)
+	if !m.Connected() {
+		t.Fatal("empty mesh vacuously connected")
+	}
+	m.Add(0)
+	m.Add(8)
+	if m.Connected() {
+		t.Fatal("two distant nodes disconnected")
+	}
+	for _, id := range []ID{1, 2, 5} {
+		m.Add(id)
+	}
+	if !m.Connected() {
+		t.Fatal("L-chain should connect 0 to 8")
+	}
+}
+
+func TestMulticastTree(t *testing.T) {
+	m := Complete(4, 4)
+	tree, missed := m.MulticastTree(0, []ID{5, 15, 12})
+	if len(missed) != 0 {
+		t.Fatalf("missed %v", missed)
+	}
+	for _, d := range []ID{5, 15, 12} {
+		cur := d
+		for steps := 0; cur != 0; steps++ {
+			if steps > 16 {
+				t.Fatalf("dest %d does not reach root", d)
+			}
+			parent, ok := tree[cur]
+			if !ok {
+				t.Fatalf("dangling node %d", cur)
+			}
+			x1, y1 := m.Coord(parent)
+			x2, y2 := m.Coord(cur)
+			if abs(x1-x2)+abs(y1-y2) != 1 {
+				t.Fatalf("non-adjacent tree edge %d-%d", parent, cur)
+			}
+			cur = parent
+		}
+	}
+}
+
+func TestMulticastTreeSharing(t *testing.T) {
+	m := Complete(4, 1) // a line: 0-1-2-3
+	tree, _ := m.MulticastTree(0, []ID{2, 3})
+	// Path to 3 extends path to 2; tree = {0,1,2,3}.
+	if len(tree) != 4 {
+		t.Fatalf("tree size %d want 4: %v", len(tree), tree)
+	}
+}
+
+func TestMulticastTreeFaultsAndMissed(t *testing.T) {
+	m := Complete(3, 3)
+	m.Remove(1) // block XY path 0->2
+	tree, missed := m.MulticastTree(0, []ID{2})
+	if len(missed) != 0 {
+		t.Fatalf("missed %v; a detour exists", missed)
+	}
+	cur := ID(2)
+	for cur != 0 {
+		parent := tree[cur]
+		if parent == 1 {
+			t.Fatal("tree through removed node")
+		}
+		cur = parent
+	}
+	// Isolate node 8.
+	m.Remove(5)
+	m.Remove(7)
+	_, missed = m.MulticastTree(0, []ID{8})
+	if len(missed) != 1 || missed[0] != 8 {
+		t.Fatalf("missed %v want [8]", missed)
+	}
+	// Absent root misses everything.
+	m2 := New(2, 2)
+	m2.Add(1)
+	_, missed2 := m2.MulticastTree(0, []ID{1})
+	if len(missed2) != 1 {
+		t.Fatal("absent root should miss all")
+	}
+}
+
+func TestTreeEdges(t *testing.T) {
+	tree := map[ID]ID{0: 0, 1: 0, 2: 1}
+	edges := TreeEdges(tree)
+	if len(edges[0]) != 1 || edges[0][0] != 1 {
+		t.Fatalf("edges %v", edges)
+	}
+	if len(edges[1]) != 1 || edges[1][0] != 2 {
+		t.Fatalf("edges %v", edges)
+	}
+}
+
+func TestDistanceCompleteManhattan(t *testing.T) {
+	m := Complete(6, 6)
+	rng := xrand.New(2)
+	for trial := 0; trial < 100; trial++ {
+		a, b := rng.Intn(36), rng.Intn(36)
+		x1, y1 := m.Coord(a)
+		x2, y2 := m.Coord(b)
+		if got := m.Distance(a, b); got != abs(x1-x2)+abs(y1-y2) {
+			t.Fatalf("distance %d->%d = %d want manhattan", a, b, got)
+		}
+	}
+}

@@ -1,0 +1,413 @@
+// Package mobility implements the node movement models under which the
+// HVDB model and its baselines are evaluated: random waypoint (the
+// standard MANET benchmark model), random walk, Gauss-Markov, reference
+// point group mobility (the paper's battlefield motivation: units moving
+// as groups), and static placement.
+//
+// A Model is advanced by the simulation in discrete steps but exposes
+// continuous kinematics between updates, which is what the clustering
+// tier's mobility prediction consumes ([23] predicts residence time in a
+// virtual circle from position and velocity).
+package mobility
+
+import (
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/gps"
+	"repro/internal/xrand"
+)
+
+// Model is the per-node movement state machine. Implementations are
+// deterministic given their PRNG stream.
+type Model interface {
+	gps.Source
+	// Advance moves internal state to time now. Callers must advance with
+	// non-decreasing times.
+	Advance(now float64)
+}
+
+// Static is a Model that never moves.
+type Static struct{ P geom.Point }
+
+// Advance implements Model.
+func (s *Static) Advance(float64) {}
+
+// TrueFix implements gps.Source.
+func (s *Static) TrueFix(float64) gps.Fix { return gps.Fix{Pos: s.P} }
+
+// Waypoint is the random waypoint model: pick a uniform destination in
+// the arena, travel at a uniform speed in [MinSpeed, MaxSpeed], pause,
+// repeat. Speeds are in meters per simulated second.
+type Waypoint struct {
+	Arena              geom.Rect
+	MinSpeed, MaxSpeed float64
+	MaxPause           float64
+
+	rng *xrand.Rand
+
+	pos      geom.Point
+	dest     geom.Point
+	speed    float64
+	pauseEnd float64
+	lastT    float64
+}
+
+// NewWaypoint returns a waypoint mover starting at a uniform position.
+func NewWaypoint(arena geom.Rect, minSpeed, maxSpeed, maxPause float64, rng *xrand.Rand) *Waypoint {
+	w := &Waypoint{
+		Arena:    arena,
+		MinSpeed: minSpeed,
+		MaxSpeed: maxSpeed,
+		MaxPause: maxPause,
+		rng:      rng,
+	}
+	w.pos = uniformPoint(arena, rng)
+	w.pickLeg(0)
+	return w
+}
+
+func uniformPoint(r geom.Rect, rng *xrand.Rand) geom.Point {
+	return geom.Pt(rng.Range(r.Min.X, r.Max.X), rng.Range(r.Min.Y, r.Max.Y))
+}
+
+func (w *Waypoint) pickLeg(now float64) {
+	w.dest = uniformPoint(w.Arena, w.rng)
+	if w.MaxSpeed <= w.MinSpeed {
+		w.speed = w.MaxSpeed
+	} else {
+		w.speed = w.rng.Range(w.MinSpeed, w.MaxSpeed)
+	}
+	if w.speed <= 0 {
+		w.speed = 0.1 // avoid the RWP zero-speed freeze pathology
+	}
+	if w.MaxPause > 0 {
+		w.pauseEnd = now + w.rng.Range(0, w.MaxPause)
+	} else {
+		w.pauseEnd = now
+	}
+}
+
+// Advance implements Model.
+func (w *Waypoint) Advance(now float64) {
+	for now > w.lastT {
+		if now < w.pauseEnd { // still pausing
+			w.lastT = now
+			return
+		}
+		start := math.Max(w.lastT, w.pauseEnd)
+		dist := w.pos.Dist(w.dest)
+		travel := dist / w.speed
+		if start+travel <= now { // reach destination within the step
+			w.pos = w.dest
+			w.lastT = start + travel
+			w.pickLeg(w.lastT)
+			if w.lastT >= now {
+				w.lastT = now
+				return
+			}
+			continue
+		}
+		frac := (now - start) / travel
+		w.pos = w.pos.Add(w.dest.Sub(w.pos).Scale(frac))
+		w.lastT = now
+	}
+}
+
+// TrueFix implements gps.Source.
+func (w *Waypoint) TrueFix(now float64) gps.Fix {
+	w.Advance(now)
+	if now < w.pauseEnd {
+		return gps.Fix{Pos: w.pos}
+	}
+	dir := w.dest.Sub(w.pos).Unit()
+	return gps.Fix{Pos: w.pos, Vel: dir.Scale(w.speed)}
+}
+
+// Walk is a random walk (a.k.a. random direction with reflection): move
+// with a constant speed in a direction re-drawn every Epoch seconds,
+// bouncing off arena walls.
+type Walk struct {
+	Arena geom.Rect
+	Speed float64
+	Epoch float64
+
+	rng   *xrand.Rand
+	pos   geom.Point
+	vel   geom.Vector
+	nextT float64 // next direction change
+	lastT float64
+}
+
+// NewWalk returns a random-walk mover starting at a uniform position.
+func NewWalk(arena geom.Rect, speed, epoch float64, rng *xrand.Rand) *Walk {
+	w := &Walk{Arena: arena, Speed: speed, Epoch: epoch, rng: rng}
+	w.pos = uniformPoint(arena, rng)
+	w.redirect()
+	return w
+}
+
+func (w *Walk) redirect() {
+	angle := w.rng.Range(-math.Pi, math.Pi)
+	w.vel = geom.FromPolar(w.Speed, angle)
+	w.nextT = w.lastT + w.Epoch
+}
+
+// Advance implements Model.
+func (w *Walk) Advance(now float64) {
+	for now > w.lastT {
+		step := math.Min(now, w.nextT) - w.lastT
+		w.pos, w.vel = w.Arena.Reflect(w.pos.Add(w.vel.Scale(step)), w.vel)
+		w.lastT += step
+		if w.lastT >= w.nextT {
+			w.redirect()
+		}
+	}
+}
+
+// TrueFix implements gps.Source.
+func (w *Walk) TrueFix(now float64) gps.Fix {
+	w.Advance(now)
+	return gps.Fix{Pos: w.pos, Vel: w.vel}
+}
+
+// GaussMarkov produces temporally correlated motion: speed and direction
+// follow first-order autoregressive processes with memory Alpha in
+// [0, 1] (1 = straight-line, 0 = memoryless), updated every Epoch
+// seconds. It avoids the sharp-turn artifacts of random waypoint.
+type GaussMarkov struct {
+	Arena     geom.Rect
+	MeanSpeed float64
+	Alpha     float64
+	Epoch     float64
+	SigmaS    float64 // speed innovation std dev
+	SigmaD    float64 // direction innovation std dev (radians)
+
+	rng   *xrand.Rand
+	pos   geom.Point
+	speed float64
+	dir   float64
+	nextT float64
+	lastT float64
+}
+
+// NewGaussMarkov returns a Gauss-Markov mover starting at a uniform
+// position heading in a uniform direction at the mean speed.
+func NewGaussMarkov(arena geom.Rect, meanSpeed, alpha, epoch float64, rng *xrand.Rand) *GaussMarkov {
+	g := &GaussMarkov{
+		Arena: arena, MeanSpeed: meanSpeed, Alpha: alpha, Epoch: epoch,
+		SigmaS: meanSpeed / 4, SigmaD: 0.4, rng: rng,
+	}
+	g.pos = uniformPoint(arena, rng)
+	g.speed = meanSpeed
+	g.dir = rng.Range(-math.Pi, math.Pi)
+	g.nextT = epoch
+	return g
+}
+
+// Advance implements Model.
+func (g *GaussMarkov) Advance(now float64) {
+	for now > g.lastT {
+		step := math.Min(now, g.nextT) - g.lastT
+		vel := geom.FromPolar(g.speed, g.dir)
+		var refl geom.Vector
+		g.pos, refl = g.Arena.Reflect(g.pos.Add(vel.Scale(step)), vel)
+		if refl != vel { // bounced: adopt the reflected heading
+			g.dir = refl.Angle()
+		}
+		g.lastT += step
+		if g.lastT >= g.nextT {
+			a := g.Alpha
+			g.speed = a*g.speed + (1-a)*g.MeanSpeed +
+				math.Sqrt(1-a*a)*g.SigmaS*g.rng.NormFloat64()
+			if g.speed < 0 {
+				g.speed = 0
+			}
+			g.dir = a*g.dir + (1-a)*g.dir + // mean direction = current
+				math.Sqrt(1-a*a)*g.SigmaD*g.rng.NormFloat64()
+			g.nextT += g.Epoch
+		}
+	}
+}
+
+// TrueFix implements gps.Source.
+func (g *GaussMarkov) TrueFix(now float64) gps.Fix {
+	g.Advance(now)
+	return gps.Fix{Pos: g.pos, Vel: geom.FromPolar(g.speed, g.dir)}
+}
+
+// Group implements reference point group mobility (RPGM): a logical
+// group center moves by random waypoint and each member jitters around a
+// fixed offset from the center. This is the paper's battlefield and
+// disaster-relief motivation, where units move together and CH-capable
+// vehicles anchor clusters.
+type Group struct {
+	center *Waypoint
+}
+
+// NewGroup returns the shared group center mover.
+func NewGroup(arena geom.Rect, minSpeed, maxSpeed, maxPause float64, rng *xrand.Rand) *Group {
+	return &Group{center: NewWaypoint(arena, minSpeed, maxSpeed, maxPause, rng)}
+}
+
+// Member returns a Model for one group member with the given offset from
+// the center and jitter radius.
+func (g *Group) Member(offset geom.Vector, jitter float64, rng *xrand.Rand) Model {
+	return &groupMember{group: g, offset: offset, jitter: jitter, rng: rng}
+}
+
+type groupMember struct {
+	group  *Group
+	offset geom.Vector
+	jitter float64
+	rng    *xrand.Rand
+
+	lastJitterT float64
+	jitterVec   geom.Vector
+}
+
+// Advance implements Model.
+func (m *groupMember) Advance(now float64) { m.group.center.Advance(now) }
+
+// TrueFix implements gps.Source.
+func (m *groupMember) TrueFix(now float64) gps.Fix {
+	f := m.group.center.TrueFix(now)
+	// Refresh the intra-group jitter once per simulated second: members
+	// wander within a disc around their formation slot.
+	if now-m.lastJitterT >= 1 || (m.jitterVec == geom.Vector{} && m.jitter > 0) {
+		angle := m.rng.Range(-math.Pi, math.Pi)
+		m.jitterVec = geom.FromPolar(m.rng.Range(0, m.jitter), angle)
+		m.lastJitterT = now
+	}
+	f.Pos = f.Pos.Add(m.offset).Add(m.jitterVec)
+	return f
+}
+
+// Manhattan is the Manhattan-grid mobility model used for vehicular
+// scenarios: nodes move only along the lines of a street grid with the
+// given block size, choosing straight/left/right at intersections with
+// probabilities 0.5/0.25/0.25 (the standard parameterization).
+type Manhattan struct {
+	Arena geom.Rect
+	Block float64
+	Speed float64
+
+	rng   *xrand.Rand
+	pos   geom.Point
+	dir   geom.Vector // unit axis direction
+	lastT float64
+}
+
+// NewManhattan returns a mover starting at a random intersection heading
+// in a random axis direction. Block must divide the arena reasonably;
+// positions snap to the street grid.
+func NewManhattan(arena geom.Rect, block, speed float64, rng *xrand.Rand) *Manhattan {
+	m := &Manhattan{Arena: arena, Block: block, Speed: speed, rng: rng}
+	cols := int(arena.W() / block)
+	rows := int(arena.H() / block)
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	m.pos = geom.Pt(
+		arena.Min.X+float64(rng.Intn(cols+1))*block,
+		arena.Min.Y+float64(rng.Intn(rows+1))*block,
+	)
+	m.pos = arena.Clamp(m.pos)
+	m.dir = m.randomAxis()
+	// The initial draw may point off the grid at an edge intersection;
+	// redraw until the first block stays inside (a valid axis always
+	// exists because the arena is at least one block wide).
+	for tries := 0; tries < 16; tries++ {
+		next := m.pos.Add(m.dir.Scale(m.Block))
+		if next.X >= arena.Min.X && next.X <= arena.Max.X &&
+			next.Y >= arena.Min.Y && next.Y <= arena.Max.Y {
+			break
+		}
+		m.dir = m.randomAxis()
+	}
+	return m
+}
+
+func (m *Manhattan) randomAxis() geom.Vector {
+	switch m.rng.Intn(4) {
+	case 0:
+		return geom.Vec(1, 0)
+	case 1:
+		return geom.Vec(-1, 0)
+	case 2:
+		return geom.Vec(0, 1)
+	default:
+		return geom.Vec(0, -1)
+	}
+}
+
+// turn picks the next direction at an intersection: straight 0.5, left
+// 0.25, right 0.25; directions leading out of the arena are re-drawn.
+func (m *Manhattan) turn() {
+	for tries := 0; tries < 8; tries++ {
+		d := m.dir
+		r := m.rng.Float64()
+		switch {
+		case r < 0.5:
+			// straight: keep d
+		case r < 0.75:
+			d = geom.Vec(-d.DY, d.DX) // left
+		default:
+			d = geom.Vec(d.DY, -d.DX) // right
+		}
+		next := m.pos.Add(d.Scale(m.Block))
+		if next.X >= m.Arena.Min.X && next.X <= m.Arena.Max.X &&
+			next.Y >= m.Arena.Min.Y && next.Y <= m.Arena.Max.Y {
+			m.dir = d
+			return
+		}
+		// Heading off the grid: force a new random axis and retry.
+		m.dir = m.randomAxis()
+	}
+	m.dir = m.dir.Scale(-1) // dead end: U-turn
+}
+
+// Advance implements Model.
+func (m *Manhattan) Advance(now float64) {
+	for now > m.lastT {
+		// Distance to the next intersection along the current street.
+		var along float64
+		if m.dir.DX != 0 {
+			offset := math.Mod(m.pos.X-m.Arena.Min.X, m.Block)
+			if m.dir.DX > 0 {
+				along = m.Block - offset
+			} else {
+				along = offset
+			}
+		} else {
+			offset := math.Mod(m.pos.Y-m.Arena.Min.Y, m.Block)
+			if m.dir.DY > 0 {
+				along = m.Block - offset
+			} else {
+				along = offset
+			}
+		}
+		if along < 1e-9 {
+			along = m.Block
+		}
+		tToNext := along / m.Speed
+		step := now - m.lastT
+		if step < tToNext {
+			m.pos = m.pos.Add(m.dir.Scale(step * m.Speed))
+			m.lastT = now
+			return
+		}
+		m.pos = m.pos.Add(m.dir.Scale(along))
+		m.lastT += tToNext
+		m.turn()
+	}
+}
+
+// TrueFix implements gps.Source.
+func (m *Manhattan) TrueFix(now float64) gps.Fix {
+	m.Advance(now)
+	return gps.Fix{Pos: m.pos, Vel: m.dir.Scale(m.Speed)}
+}

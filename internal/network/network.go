@@ -1,0 +1,485 @@
+// Package network is the MANET substrate: mobile nodes with radios and
+// mobility models, single-hop unicast/broadcast delivery with realistic
+// delay and loss, a spatial index for neighbor queries, failure
+// injection, and the traffic accounting every experiment reports
+// (control vs. data overhead, per-node forwarding load).
+//
+// Protocols are written as packet handlers on nodes; the network
+// schedules deliveries on the shared discrete-event simulator. A single
+// Network is owned by a single simulation run and is not safe for
+// concurrent use; runs are parallelized at the harness level.
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/geom"
+	"repro/internal/gps"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// NodeID identifies a node within one Network.
+type NodeID int
+
+// NoNode is the invalid node ID.
+const NoNode NodeID = -1
+
+// Packet is a single transmission unit. Protocols attach their own
+// payload; Size is what occupies the channel and is what the overhead
+// accounting integrates.
+type Packet struct {
+	// Kind names the protocol message type, e.g. "beacon",
+	// "mnt-summary", "mcast-data". It keys the per-kind traffic counters.
+	Kind string
+	// Src is the originating node; Dst the final destination (protocols
+	// performing multi-hop routing re-send at each hop).
+	Src, Dst NodeID
+	// Group carries a multicast group ID where relevant.
+	Group int
+	// Size is the on-air size in bytes, headers included.
+	Size int
+	// Control marks protocol overhead as opposed to application data.
+	Control bool
+	// Hops counts physical transmissions so far; the network increments
+	// it on every delivery.
+	Hops int
+	// Born is the simulated time the packet's application payload was
+	// created, for end-to-end delay measurement across re-encapsulation.
+	Born des.Time
+	// UID is unique per originated packet and survives forwarding, so
+	// duplicate suppression and delivery accounting can key on it.
+	UID uint64
+	// Payload is protocol-defined.
+	Payload any
+}
+
+// Clone returns a copy of the packet for duplication at branch points;
+// payloads are shared (protocol payloads are immutable by convention).
+func (p *Packet) Clone() *Packet {
+	q := *p
+	return &q
+}
+
+// Handler receives packets delivered to a node. from is the physical
+// (one-hop) sender.
+type Handler func(n *Node, from NodeID, pkt *Packet)
+
+// Node is one mobile node.
+type Node struct {
+	ID  NodeID
+	net *Network
+
+	Mob   mobility.Model
+	Radio radio.Model
+	GPS   gps.Receiver
+	// CHCapable marks nodes with the stronger capability class that the
+	// paper requires of cluster heads.
+	CHCapable bool
+	// Cap meters residual bandwidth for QoS admission.
+	Cap *radio.Capacity
+
+	up      bool
+	handler Handler
+	rng     *xrand.Rand
+
+	// Traffic counters (transmissions this node performed).
+	TxPackets, TxBytes uint64
+	RxPackets, RxBytes uint64
+	// ForwardLoad counts transmissions done on behalf of others (the
+	// load-balancing experiments read it).
+	ForwardLoad uint64
+}
+
+// Up reports whether the node is alive.
+func (n *Node) Up() bool { return n.up }
+
+// SetHandler installs the packet receive callback.
+func (n *Node) SetHandler(h Handler) { n.handler = h }
+
+// Rand returns the node's private PRNG stream.
+func (n *Node) Rand() *xrand.Rand { return n.rng }
+
+// Net returns the owning network.
+func (n *Node) Net() *Network { return n.net }
+
+// Fix samples the node's positioning receiver at the current simulated
+// time.
+func (n *Node) Fix() gps.Fix {
+	return n.GPS.Fix(n.Mob, float64(n.net.sim.Now()))
+}
+
+// TruePos returns the node's ground-truth position (the network layer
+// itself always uses truth for propagation; GPS error only affects what
+// protocols believe).
+func (n *Node) TruePos() geom.Point {
+	return n.Mob.TrueFix(float64(n.net.sim.Now())).Pos
+}
+
+// Fail takes the node down: it stops receiving and transmitting until
+// Recover. The spatial index is invalidated so neighbor queries at the
+// same instant already exclude the node.
+func (n *Node) Fail() {
+	n.up = false
+	n.net.gridValid = false
+}
+
+// Recover brings a failed node back.
+func (n *Node) Recover() {
+	n.up = true
+	n.net.gridValid = false
+}
+
+// Network owns the nodes of one simulated MANET.
+type Network struct {
+	sim    *des.Simulator
+	arena  geom.Rect
+	nodes  []*Node
+	rng    *xrand.Rand
+	tracer trace.Tracer
+
+	// Spatial index over node positions, rebuilt lazily per distinct
+	// simulation time.
+	cellSize  float64
+	cells     map[cellKey][]NodeID
+	gridAt    des.Time
+	gridValid bool
+
+	nextUID uint64
+
+	// Aggregate accounting.
+	kindTx      map[string]uint64 // transmissions per packet kind
+	kindBytes   map[string]uint64
+	kindSenders map[string]map[NodeID]bool // distinct transmitters per kind
+	ctrlBytes   uint64
+	dataBytes   uint64
+	lost        uint64
+}
+
+type cellKey struct{ cx, cy int }
+
+// New returns an empty network over the given arena on the given
+// simulator.
+func New(sim *des.Simulator, arena geom.Rect, rng *xrand.Rand) *Network {
+	return &Network{
+		sim:         sim,
+		arena:       arena,
+		rng:         rng,
+		tracer:      trace.Nop,
+		cellSize:    radio.DefaultCH.Range,
+		kindTx:      make(map[string]uint64),
+		kindBytes:   make(map[string]uint64),
+		kindSenders: make(map[string]map[NodeID]bool),
+	}
+}
+
+// SetTracer installs a tracer; nil resets to no-op.
+func (w *Network) SetTracer(t trace.Tracer) {
+	if t == nil {
+		t = trace.Nop
+	}
+	w.tracer = t
+}
+
+// Sim returns the simulator the network schedules on.
+func (w *Network) Sim() *des.Simulator { return w.sim }
+
+// Arena returns the simulation area.
+func (w *Network) Arena() geom.Rect { return w.arena }
+
+// AddNode creates a node with the given mobility, radio, and positioning
+// receiver. Nodes start up.
+func (w *Network) AddNode(mob mobility.Model, rm radio.Model, receiver gps.Receiver, chCapable bool) *Node {
+	if receiver == nil {
+		receiver = gps.Oracle{}
+	}
+	n := &Node{
+		ID:        NodeID(len(w.nodes)),
+		net:       w,
+		Mob:       mob,
+		Radio:     rm,
+		GPS:       receiver,
+		CHCapable: chCapable,
+		Cap:       radio.NewCapacity(rm.Bandwidth),
+		up:        true,
+		rng:       w.rng.Split(),
+	}
+	w.nodes = append(w.nodes, n)
+	if rm.Range > w.cellSize {
+		w.cellSize = rm.Range
+	}
+	w.gridValid = false
+	return n
+}
+
+// Node returns the node with the given ID, or nil if out of range.
+func (w *Network) Node(id NodeID) *Node {
+	if id < 0 || int(id) >= len(w.nodes) {
+		return nil
+	}
+	return w.nodes[id]
+}
+
+// Nodes returns all nodes (shared slice; callers must not modify).
+func (w *Network) Nodes() []*Node { return w.nodes }
+
+// Len returns the number of nodes.
+func (w *Network) Len() int { return len(w.nodes) }
+
+// NextUID mints a unique packet UID.
+func (w *Network) NextUID() uint64 {
+	w.nextUID++
+	return w.nextUID
+}
+
+func (w *Network) cellOf(p geom.Point) cellKey {
+	return cellKey{int(math.Floor(p.X / w.cellSize)), int(math.Floor(p.Y / w.cellSize))}
+}
+
+func (w *Network) refreshGrid() {
+	now := w.sim.Now()
+	if w.gridValid && w.gridAt == now {
+		return
+	}
+	if w.cells == nil {
+		w.cells = make(map[cellKey][]NodeID, len(w.nodes))
+	} else {
+		for k := range w.cells {
+			delete(w.cells, k)
+		}
+	}
+	for _, n := range w.nodes {
+		if !n.up {
+			continue
+		}
+		k := w.cellOf(n.TruePos())
+		w.cells[k] = append(w.cells[k], n.ID)
+	}
+	w.gridAt = now
+	w.gridValid = true
+}
+
+// Neighbors returns the IDs of live nodes within the sender's radio
+// range, excluding the sender itself. The result is freshly allocated.
+func (w *Network) Neighbors(id NodeID) []NodeID {
+	n := w.Node(id)
+	if n == nil || !n.up {
+		return nil
+	}
+	w.refreshGrid()
+	pos := n.TruePos()
+	r := n.Radio.Range
+	reach := int(math.Ceil(r/w.cellSize)) + 1
+	center := w.cellOf(pos)
+	var out []NodeID
+	for dx := -reach; dx <= reach; dx++ {
+		for dy := -reach; dy <= reach; dy++ {
+			for _, other := range w.cells[cellKey{center.cx + dx, center.cy + dy}] {
+				if other == id {
+					continue
+				}
+				o := w.nodes[other]
+				if pos.Dist2(o.TruePos()) <= r*r {
+					out = append(out, other)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// InRange reports whether a's radio currently reaches b and both are up.
+func (w *Network) InRange(a, b NodeID) bool {
+	na, nb := w.Node(a), w.Node(b)
+	if na == nil || nb == nil || !na.up || !nb.up {
+		return false
+	}
+	return na.Radio.Reaches(na.TruePos(), nb.TruePos())
+}
+
+func (w *Network) account(n *Node, pkt *Packet) {
+	n.TxPackets++
+	n.TxBytes += uint64(pkt.Size)
+	w.kindTx[pkt.Kind]++
+	w.kindBytes[pkt.Kind] += uint64(pkt.Size)
+	senders := w.kindSenders[pkt.Kind]
+	if senders == nil {
+		senders = make(map[NodeID]bool)
+		w.kindSenders[pkt.Kind] = senders
+	}
+	senders[n.ID] = true
+	if pkt.Control {
+		w.ctrlBytes += uint64(pkt.Size)
+	} else {
+		w.dataBytes += uint64(pkt.Size)
+	}
+	if pkt.Src != n.ID {
+		n.ForwardLoad++
+	}
+}
+
+// Unicast transmits pkt from one node to a one-hop neighbor. It reports
+// whether the transmission was attempted (sender up, receiver up, in
+// range); a true return still allows in-flight loss per the radio model.
+// Delivery is scheduled on the simulator after the radio's hop delay.
+func (w *Network) Unicast(from, to NodeID, pkt *Packet) bool {
+	src := w.Node(from)
+	dst := w.Node(to)
+	if src == nil || dst == nil || !src.up || !dst.up {
+		return false
+	}
+	sp, dp := src.TruePos(), dst.TruePos()
+	d := sp.Dist(dp)
+	if !src.Radio.InRange(d) {
+		return false
+	}
+	w.account(src, pkt)
+	if src.Radio.Lost(src.rng) {
+		w.lost++
+		w.tracer.Eventf(trace.Radio, float64(w.sim.Now()), "LOST %s %d->%d", pkt.Kind, from, to)
+		return true
+	}
+	delay := des.Duration(src.Radio.TxDelay(pkt.Size, d))
+	w.sim.After(delay, func() { w.deliver(from, to, pkt) })
+	return true
+}
+
+// Broadcast transmits pkt to every current one-hop neighbor of the
+// sender with a single channel occupation (wireless broadcast
+// advantage): the sender's counters are charged once, each receiver
+// draws loss independently. It returns the number of neighbors the
+// packet was put on air to.
+func (w *Network) Broadcast(from NodeID, pkt *Packet) int {
+	src := w.Node(from)
+	if src == nil || !src.up {
+		return 0
+	}
+	nbrs := w.Neighbors(from)
+	w.account(src, pkt)
+	sp := src.TruePos()
+	for _, to := range nbrs {
+		if src.Radio.Lost(src.rng) {
+			w.lost++
+			continue
+		}
+		dst := w.nodes[to]
+		delay := des.Duration(src.Radio.TxDelay(pkt.Size, sp.Dist(dst.TruePos())))
+		to := to
+		w.sim.After(delay, func() { w.deliver(from, to, pkt) })
+	}
+	return len(nbrs)
+}
+
+func (w *Network) deliver(from, to NodeID, pkt *Packet) {
+	dst := w.Node(to)
+	if dst == nil || !dst.up {
+		return // went down while the packet was in flight
+	}
+	pkt.Hops++
+	dst.RxPackets++
+	dst.RxBytes += uint64(pkt.Size)
+	if dst.handler != nil {
+		dst.handler(dst, from, pkt)
+	}
+}
+
+// Stats is a snapshot of the network's aggregate traffic accounting.
+type Stats struct {
+	ControlBytes, DataBytes uint64
+	Lost                    uint64
+	KindTx                  map[string]uint64
+	KindBytes               map[string]uint64
+}
+
+// Stats returns a copy of the aggregate counters.
+func (w *Network) Stats() Stats {
+	kt := make(map[string]uint64, len(w.kindTx))
+	for k, v := range w.kindTx {
+		kt[k] = v
+	}
+	kb := make(map[string]uint64, len(w.kindBytes))
+	for k, v := range w.kindBytes {
+		kb[k] = v
+	}
+	return Stats{
+		ControlBytes: w.ctrlBytes,
+		DataBytes:    w.dataBytes,
+		Lost:         w.lost,
+		KindTx:       kt,
+		KindBytes:    kb,
+	}
+}
+
+// BytesMatching sums transmitted bytes over packet kinds accepted by
+// match; used to isolate one protocol plane's traffic (a geo-routed
+// plane appears both under its own kind and under "geo:<kind>").
+func (w *Network) BytesMatching(match func(kind string) bool) uint64 {
+	var total uint64
+	for k, b := range w.kindBytes {
+		if match(k) {
+			total += b
+		}
+	}
+	return total
+}
+
+// SendersMatching counts distinct nodes that transmitted any packet of
+// a kind accepted by match — the "how many nodes are involved"
+// measure of the paper's membership argument.
+func (w *Network) SendersMatching(match func(kind string) bool) int {
+	seen := make(map[NodeID]bool)
+	for k, senders := range w.kindSenders {
+		if !match(k) {
+			continue
+		}
+		for id := range senders {
+			seen[id] = true
+		}
+	}
+	return len(seen)
+}
+
+// ResetTraffic zeroes all traffic counters (network-wide and per-node);
+// experiments call it at the end of the warm-up phase.
+func (w *Network) ResetTraffic() {
+	w.ctrlBytes, w.dataBytes, w.lost = 0, 0, 0
+	for k := range w.kindTx {
+		delete(w.kindTx, k)
+	}
+	for k := range w.kindBytes {
+		delete(w.kindBytes, k)
+	}
+	for k := range w.kindSenders {
+		delete(w.kindSenders, k)
+	}
+	for _, n := range w.nodes {
+		n.TxPackets, n.TxBytes, n.RxPackets, n.RxBytes, n.ForwardLoad = 0, 0, 0, 0, 0
+	}
+}
+
+// ForwardLoads returns the per-node forwarding load vector (for Jain
+// index computation), restricted to live nodes.
+func (w *Network) ForwardLoads() []float64 {
+	out := make([]float64, 0, len(w.nodes))
+	for _, n := range w.nodes {
+		if n.up {
+			out = append(out, float64(n.ForwardLoad))
+		}
+	}
+	return out
+}
+
+// String summarizes the network.
+func (w *Network) String() string {
+	up := 0
+	for _, n := range w.nodes {
+		if n.up {
+			up++
+		}
+	}
+	return fmt.Sprintf("network{nodes=%d up=%d arena=%gx%g}", len(w.nodes), up, w.arena.W(), w.arena.H())
+}

@@ -1,0 +1,280 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/geom"
+	"repro/internal/gps"
+	"repro/internal/mobility"
+	"repro/internal/radio"
+	"repro/internal/xrand"
+)
+
+func testNet() (*des.Simulator, *Network) {
+	sim := des.New()
+	net := New(sim, geom.RectWH(0, 0, 1000, 1000), xrand.New(42))
+	return sim, net
+}
+
+func addStatic(net *Network, x, y float64) *Node {
+	return net.AddNode(&mobility.Static{P: geom.Pt(x, y)}, radio.DefaultMN, nil, false)
+}
+
+func TestAddAndLookup(t *testing.T) {
+	_, net := testNet()
+	a := addStatic(net, 0, 0)
+	b := addStatic(net, 10, 0)
+	if a.ID != 0 || b.ID != 1 {
+		t.Fatalf("IDs %d %d", a.ID, b.ID)
+	}
+	if net.Node(0) != a || net.Node(1) != b {
+		t.Fatal("lookup mismatch")
+	}
+	if net.Node(-1) != nil || net.Node(2) != nil {
+		t.Fatal("out-of-range lookup should be nil")
+	}
+	if net.Len() != 2 {
+		t.Fatalf("Len=%d", net.Len())
+	}
+}
+
+func TestNeighbors(t *testing.T) {
+	_, net := testNet()
+	a := addStatic(net, 0, 0)
+	b := addStatic(net, 100, 0) // within 250 m
+	c := addStatic(net, 500, 0) // out of range of a, within range of b
+	nbrs := net.Neighbors(a.ID)
+	if len(nbrs) != 1 || nbrs[0] != b.ID {
+		t.Fatalf("neighbors of a = %v want [b]", nbrs)
+	}
+	nbrsB := net.Neighbors(b.ID)
+	if len(nbrsB) != 1 { // a is a neighbor; c is 400m away > 250
+		t.Fatalf("neighbors of b = %v", nbrsB)
+	}
+	_ = c
+}
+
+func TestNeighborsExcludeDown(t *testing.T) {
+	_, net := testNet()
+	a := addStatic(net, 0, 0)
+	b := addStatic(net, 100, 0)
+	b.Fail()
+	if nbrs := net.Neighbors(a.ID); len(nbrs) != 0 {
+		t.Fatalf("down node appeared as neighbor: %v", nbrs)
+	}
+	b.Recover()
+	if nbrs := net.Neighbors(a.ID); len(nbrs) != 1 {
+		t.Fatalf("recovered node missing: %v", nbrs)
+	}
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	sim, net := testNet()
+	a := addStatic(net, 0, 0)
+	b := addStatic(net, 100, 0)
+	var got *Packet
+	var from NodeID
+	b.SetHandler(func(n *Node, f NodeID, pkt *Packet) { got, from = pkt, f })
+	ok := net.Unicast(a.ID, b.ID, &Packet{Kind: "test", Src: a.ID, Dst: b.ID, Size: 100})
+	if !ok {
+		t.Fatal("in-range unicast refused")
+	}
+	if got != nil {
+		t.Fatal("delivery should be asynchronous")
+	}
+	sim.Run()
+	if got == nil {
+		t.Fatal("packet not delivered")
+	}
+	if from != a.ID || got.Hops != 1 {
+		t.Fatalf("from=%v hops=%d", from, got.Hops)
+	}
+	if sim.Now() <= 0 {
+		t.Fatal("delivery should take positive time")
+	}
+}
+
+func TestUnicastOutOfRange(t *testing.T) {
+	_, net := testNet()
+	a := addStatic(net, 0, 0)
+	b := addStatic(net, 900, 0)
+	if net.Unicast(a.ID, b.ID, &Packet{Kind: "test", Size: 10}) {
+		t.Fatal("out-of-range unicast accepted")
+	}
+}
+
+func TestUnicastToDownNode(t *testing.T) {
+	_, net := testNet()
+	a := addStatic(net, 0, 0)
+	b := addStatic(net, 100, 0)
+	b.Fail()
+	if net.Unicast(a.ID, b.ID, &Packet{Kind: "test", Size: 10}) {
+		t.Fatal("unicast to down node accepted")
+	}
+}
+
+func TestNodeFailsWhilePacketInFlight(t *testing.T) {
+	sim, net := testNet()
+	a := addStatic(net, 0, 0)
+	b := addStatic(net, 100, 0)
+	delivered := false
+	b.SetHandler(func(*Node, NodeID, *Packet) { delivered = true })
+	net.Unicast(a.ID, b.ID, &Packet{Kind: "test", Size: 1000})
+	b.Fail() // goes down before the delivery event fires
+	sim.Run()
+	if delivered {
+		t.Fatal("packet delivered to node that failed mid-flight")
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	sim, net := testNet()
+	a := addStatic(net, 500, 500)
+	received := map[NodeID]int{}
+	for i := 0; i < 5; i++ {
+		n := addStatic(net, 500+float64(i+1)*30, 500)
+		n.SetHandler(func(n *Node, _ NodeID, _ *Packet) { received[n.ID]++ })
+	}
+	far := addStatic(net, 0, 0)
+	far.SetHandler(func(n *Node, _ NodeID, _ *Packet) { received[n.ID]++ })
+	count := net.Broadcast(a.ID, &Packet{Kind: "beacon", Src: a.ID, Size: 50, Control: true})
+	if count != 5 {
+		t.Fatalf("broadcast reached %d want 5", count)
+	}
+	sim.Run()
+	if len(received) != 5 {
+		t.Fatalf("delivered to %d nodes want 5", len(received))
+	}
+	if received[far.ID] != 0 {
+		t.Fatal("out-of-range node received broadcast")
+	}
+	// Broadcast charges the sender exactly once.
+	if a.TxPackets != 1 {
+		t.Fatalf("TxPackets=%d want 1 (wireless broadcast advantage)", a.TxPackets)
+	}
+}
+
+func TestAccountingControlVsData(t *testing.T) {
+	sim, net := testNet()
+	a := addStatic(net, 0, 0)
+	b := addStatic(net, 100, 0)
+	net.Unicast(a.ID, b.ID, &Packet{Kind: "ctrl", Size: 10, Control: true})
+	net.Unicast(a.ID, b.ID, &Packet{Kind: "data", Size: 1000})
+	sim.Run()
+	st := net.Stats()
+	if st.ControlBytes != 10 || st.DataBytes != 1000 {
+		t.Fatalf("ctrl=%d data=%d", st.ControlBytes, st.DataBytes)
+	}
+	if st.KindTx["ctrl"] != 1 || st.KindTx["data"] != 1 {
+		t.Fatalf("per-kind tx %v", st.KindTx)
+	}
+	if st.KindBytes["data"] != 1000 {
+		t.Fatalf("per-kind bytes %v", st.KindBytes)
+	}
+}
+
+func TestForwardLoadAccounting(t *testing.T) {
+	sim, net := testNet()
+	a := addStatic(net, 0, 0)
+	b := addStatic(net, 100, 0)
+	c := addStatic(net, 200, 0)
+	// b forwards a's packet to c.
+	b.SetHandler(func(n *Node, _ NodeID, pkt *Packet) {
+		if pkt.Dst != n.ID {
+			net.Unicast(n.ID, c.ID, pkt)
+		}
+	})
+	net.Unicast(a.ID, b.ID, &Packet{Kind: "data", Src: a.ID, Dst: c.ID, Size: 100})
+	sim.Run()
+	if b.ForwardLoad != 1 {
+		t.Fatalf("b.ForwardLoad=%d want 1", b.ForwardLoad)
+	}
+	if a.ForwardLoad != 0 {
+		t.Fatalf("a.ForwardLoad=%d want 0 (originated)", a.ForwardLoad)
+	}
+	loads := net.ForwardLoads()
+	if len(loads) != 3 {
+		t.Fatalf("loads length %d", len(loads))
+	}
+}
+
+func TestResetTraffic(t *testing.T) {
+	sim, net := testNet()
+	a := addStatic(net, 0, 0)
+	b := addStatic(net, 100, 0)
+	net.Unicast(a.ID, b.ID, &Packet{Kind: "x", Size: 10, Control: true})
+	sim.Run()
+	net.ResetTraffic()
+	st := net.Stats()
+	if st.ControlBytes != 0 || len(st.KindTx) != 0 || a.TxPackets != 0 || b.RxPackets != 0 {
+		t.Fatal("ResetTraffic left residue")
+	}
+}
+
+func TestLossyLink(t *testing.T) {
+	sim := des.New()
+	net := New(sim, geom.RectWH(0, 0, 1000, 1000), xrand.New(7))
+	lossy := radio.Model{Range: 250, Bandwidth: 2e6, ProcDelay: 1e-3, LossProb: 1.0}
+	a := net.AddNode(&mobility.Static{P: geom.Pt(0, 0)}, lossy, nil, false)
+	b := net.AddNode(&mobility.Static{P: geom.Pt(100, 0)}, radio.DefaultMN, nil, false)
+	delivered := false
+	b.SetHandler(func(*Node, NodeID, *Packet) { delivered = true })
+	if !net.Unicast(a.ID, b.ID, &Packet{Kind: "x", Size: 10}) {
+		t.Fatal("transmission should be attempted")
+	}
+	sim.Run()
+	if delivered {
+		t.Fatal("LossProb=1 delivered a packet")
+	}
+	if net.Stats().Lost != 1 {
+		t.Fatalf("Lost=%d want 1", net.Stats().Lost)
+	}
+}
+
+func TestPacketClone(t *testing.T) {
+	p := &Packet{Kind: "x", Size: 10, UID: 99, Hops: 2}
+	q := p.Clone()
+	q.Hops = 5
+	if p.Hops != 2 {
+		t.Fatal("clone aliases original")
+	}
+	if q.UID != 99 || q.Kind != "x" {
+		t.Fatal("clone dropped fields")
+	}
+}
+
+func TestMovingNodesChangeNeighbors(t *testing.T) {
+	sim := des.New()
+	net := New(sim, geom.RectWH(0, 0, 2000, 2000), xrand.New(9))
+	// Node b moves right at 100 m/s away from a at origin.
+	a := net.AddNode(&mobility.Static{P: geom.Pt(0, 0)}, radio.DefaultMN, nil, false)
+	bMob := &mobility.Walk{Arena: geom.RectWH(0, 0, 2000, 2000), Speed: 0, Epoch: 1e9}
+	_ = bMob
+	b := net.AddNode(newLinearMover(geom.Pt(200, 0), geom.Vec(100, 0)), radio.DefaultMN, nil, false)
+	if len(net.Neighbors(a.ID)) != 1 {
+		t.Fatal("b should start as neighbor")
+	}
+	sim.Schedule(5, func() { // b is now at x=700, out of 250 m range
+		if len(net.Neighbors(a.ID)) != 0 {
+			t.Error("b should have left radio range")
+		}
+	})
+	sim.Run()
+	_ = b
+}
+
+// linearMover is a minimal deterministic mobility model for tests.
+type linearMover struct {
+	p0 geom.Point
+	v  geom.Vector
+}
+
+func newLinearMover(p geom.Point, v geom.Vector) *linearMover {
+	return &linearMover{p0: p, v: v}
+}
+
+func (m *linearMover) Advance(float64) {}
+func (m *linearMover) TrueFix(now float64) gps.Fix {
+	return gps.Fix{Pos: m.p0.Add(m.v.Scale(now)), Vel: m.v}
+}

@@ -1,0 +1,230 @@
+// Package qos implements session admission over the HVDB, realizing the
+// paper's QoS discussion (§2.3): a *hard* mode in the spirit of IntServ
+// — a multicast session reserves bandwidth on every cluster head its
+// trees cross, and is rejected (with rollback) if any reservation
+// fails — and a *soft* mode in the spirit of DiffServ, which admits the
+// session regardless and only reports how much of the demand the
+// backbone could cover. The paper argues soft QoS suits highly dynamic
+// MANETs better; the two modes make that trade-off measurable.
+//
+// Reservations are node-level (a CH's radio capacity), which models the
+// TDMA-slot style reservation of the paper's reference [9] at the
+// granularity the backbone operates on.
+package qos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hypercube"
+	"repro/internal/logicalid"
+	"repro/internal/membership"
+	"repro/internal/multicast"
+	"repro/internal/network"
+)
+
+// Mode selects the admission discipline.
+type Mode int
+
+const (
+	// Hard rejects a session unless every CH on its trees can reserve
+	// the demanded rate (IntServ-like).
+	Hard Mode = iota
+	// Soft admits every session and reports coverage (DiffServ-like).
+	Soft
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Hard {
+		return "hard"
+	}
+	return "soft"
+}
+
+// SessionID identifies an admitted session.
+type SessionID int
+
+// Session is one admitted QoS multicast session.
+type Session struct {
+	ID    SessionID
+	Group membership.Group
+	// Rate is the reserved bandwidth in bits/second.
+	Rate float64
+	// Mode is the admission discipline the session was opened under.
+	Mode Mode
+	// Reserved lists the CH nodes holding a reservation.
+	Reserved []network.NodeID
+	// Demanded counts the CHs the trees crossed; Coverage is
+	// len(Reserved)/Demanded (1.0 under Hard).
+	Demanded int
+}
+
+// Coverage returns the fraction of tree CHs holding a reservation.
+func (s *Session) Coverage() float64 {
+	if s.Demanded == 0 {
+		return 1
+	}
+	return float64(len(s.Reserved)) / float64(s.Demanded)
+}
+
+// Manager admits and releases sessions over one backbone.
+type Manager struct {
+	bb *core.Backbone
+	ms *membership.Service
+	mc *multicast.Service
+
+	next     SessionID
+	sessions map[SessionID]*Session
+
+	// Admitted and Rejected count admission outcomes.
+	Admitted, Rejected uint64
+}
+
+// NewManager returns a session manager over the given stack.
+func NewManager(bb *core.Backbone, ms *membership.Service, mc *multicast.Service) *Manager {
+	return &Manager{bb: bb, ms: ms, mc: mc, sessions: make(map[SessionID]*Session)}
+}
+
+// treeCHs computes the set of CH nodes the session's multicast trees
+// would cross from the given source slot: the mesh-tier tree over the
+// member-bearing hypercubes plus, within each crossed hypercube, the
+// hypercube-tier tree over member CH slots (mirroring Figure 6's two
+// tiers).
+func (m *Manager) treeCHs(srcSlot logicalid.CHID, g membership.Group) []network.NodeID {
+	scheme := m.bb.Scheme()
+	rootHID := scheme.CHIDToPlace(srcSlot).HID
+	mesh := m.bb.Mesh()
+	var dests []int
+	for h := range m.ms.MTSummary(srcSlot, g) {
+		dests = append(dests, int(h))
+	}
+	meshTree, _ := mesh.MulticastTree(int(rootHID), dests)
+
+	seen := map[network.NodeID]bool{}
+	var out []network.NodeID
+	add := func(id network.NodeID) {
+		if id != network.NoNode && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for hid := range meshTree {
+		h := logicalid.HID(hid)
+		cube := m.bb.Cube(h)
+		// Entry label: the source label in the root cube, else the
+		// geographically nearest CH slot (as the data plane picks).
+		entry := scheme.CHIDToPlace(srcSlot).HNID
+		if h != rootHID {
+			labels := cube.Labels()
+			if len(labels) == 0 {
+				continue
+			}
+			entry = labels[0]
+		}
+		var cubeDests []logicalid.CHID
+		// Members of this cube per the *cube-local* view at its entry
+		// slot; the admission view uses the source's MNT view for its
+		// own cube and the HT-derived existence for others.
+		if h == rootHID {
+			cubeDests = m.ms.CubeMembers(srcSlot, g)
+		} else {
+			entryVC := scheme.VCAt(h, entry)
+			entrySlot := logicalid.CHID(scheme.Grid().Index(entryVC))
+			cubeDests = m.ms.CubeMembers(entrySlot, g)
+		}
+		tree, _ := cube.MulticastTree(entry, chidsToLabels(scheme, cubeDests))
+		for l := range tree {
+			vc := scheme.VCAt(h, l)
+			if scheme.Grid().Valid(vc) {
+				add(m.bb.CHNodeOf(logicalid.CHID(scheme.Grid().Index(vc))))
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func chidsToLabels(scheme *logicalid.Scheme, slots []logicalid.CHID) []hypercube.Label {
+	labels := make([]hypercube.Label, 0, len(slots))
+	for _, s := range slots {
+		labels = append(labels, scheme.CHIDToPlace(s).HNID)
+	}
+	return labels
+}
+
+// Open admits a session of the given rate from the source node to the
+// group. Under Hard mode it either reserves on every tree CH or rejects
+// with full rollback; under Soft it reserves wherever possible.
+func (m *Manager) Open(src network.NodeID, g membership.Group, rate float64, mode Mode) (*Session, error) {
+	grid := m.bb.Scheme().Grid()
+	n := m.bb.Net().Node(src)
+	if n == nil || !n.Up() {
+		return nil, fmt.Errorf("qos: source %d unavailable", src)
+	}
+	vc := grid.VCOf(n.Fix().Pos)
+	ch := m.bb.Clusters().CHOf(vc)
+	if ch == network.NoNode {
+		return nil, fmt.Errorf("qos: source %d has no cluster head", src)
+	}
+	srcSlot := logicalid.CHID(grid.Index(vc))
+	chs := m.treeCHs(srcSlot, g)
+	s := &Session{Group: g, Rate: rate, Mode: mode, Demanded: len(chs)}
+	for _, id := range chs {
+		node := m.bb.Net().Node(id)
+		if node != nil && node.Up() && node.Cap.Reserve(rate) {
+			s.Reserved = append(s.Reserved, id)
+			continue
+		}
+		if mode == Hard {
+			m.release(s)
+			m.Rejected++
+			return nil, fmt.Errorf("qos: CH %d cannot reserve %.0f b/s", id, rate)
+		}
+	}
+	m.next++
+	s.ID = m.next
+	m.sessions[s.ID] = s
+	m.Admitted++
+	return s, nil
+}
+
+// Close releases a session's reservations. Closing an unknown session
+// is a no-op.
+func (m *Manager) Close(id SessionID) {
+	s, ok := m.sessions[id]
+	if !ok {
+		return
+	}
+	m.release(s)
+	delete(m.sessions, id)
+}
+
+func (m *Manager) release(s *Session) {
+	for _, id := range s.Reserved {
+		if node := m.bb.Net().Node(id); node != nil {
+			node.Cap.Release(s.Rate)
+		}
+	}
+	s.Reserved = nil
+}
+
+// Active returns the number of open sessions.
+func (m *Manager) Active() int { return len(m.sessions) }
+
+// Utilization reports the mean reserved fraction over the CH nodes
+// currently heading clusters — the backbone's QoS load.
+func (m *Manager) Utilization() float64 {
+	total, count := 0.0, 0
+	for _, ch := range m.bb.Clusters().Heads() {
+		if node := m.bb.Net().Node(ch); node != nil {
+			total += node.Cap.Utilization()
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}

@@ -1,0 +1,151 @@
+package qos
+
+import (
+	"testing"
+
+	"repro/internal/logicalid"
+	"repro/internal/membership"
+	"repro/internal/scenario"
+)
+
+// buildWorld wires a converged world with one group spanning two cubes.
+func buildWorld(t *testing.T) (*scenario.World, *Manager) {
+	t.Helper()
+	spec := scenario.DefaultSpec()
+	spec.Seed = 5
+	spec.Nodes = 80
+	spec.Groups = 1
+	spec.MembersPerGroup = 8
+	spec.Mobility = scenario.Static
+	w, err := scenario.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	w.WarmUp(14)
+	return w, NewManager(w.BB, w.MS, w.MC)
+}
+
+func TestHardAdmissionAndRelease(t *testing.T) {
+	w, m := buildWorld(t)
+	defer w.Stop()
+	src := w.RandomSource()
+	s, err := m.Open(src, 0, 100e3, Hard)
+	if err != nil {
+		t.Fatalf("admission failed: %v", err)
+	}
+	if s.Coverage() != 1 {
+		t.Fatalf("hard session coverage %v want 1", s.Coverage())
+	}
+	if len(s.Reserved) == 0 || s.Demanded == 0 {
+		t.Fatal("session reserved nothing")
+	}
+	if m.Active() != 1 || m.Admitted != 1 {
+		t.Fatal("bookkeeping wrong")
+	}
+	util := m.Utilization()
+	if util <= 0 {
+		t.Fatal("utilization should be positive with an open session")
+	}
+	m.Close(s.ID)
+	if m.Active() != 0 {
+		t.Fatal("close did not remove session")
+	}
+	if got := m.Utilization(); got >= util {
+		t.Fatalf("utilization %v did not drop after close (was %v)", got, util)
+	}
+	m.Close(s.ID) // idempotent
+}
+
+func TestHardAdmissionExhaustsCapacity(t *testing.T) {
+	w, m := buildWorld(t)
+	defer w.Stop()
+	src := w.RandomSource()
+	// CH radios carry 11 Mb/s; sessions of 4 Mb/s exhaust a CH after
+	// two. Keep opening until rejection.
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if _, err := m.Open(src, 0, 4e6, Hard); err != nil {
+			break
+		}
+		admitted++
+	}
+	if admitted == 0 {
+		t.Fatal("no session admitted at all")
+	}
+	if admitted >= 10 {
+		t.Fatal("capacity never exhausted; admission not enforcing")
+	}
+	if m.Rejected == 0 {
+		t.Fatal("rejection not counted")
+	}
+}
+
+func TestHardRejectionRollsBack(t *testing.T) {
+	w, m := buildWorld(t)
+	defer w.Stop()
+	src := w.RandomSource()
+	// Fill to rejection.
+	for i := 0; i < 10; i++ {
+		if _, err := m.Open(src, 0, 4e6, Hard); err != nil {
+			break
+		}
+	}
+	utilAtReject := m.Utilization()
+	// Another rejected attempt must not leak reservations.
+	if _, err := m.Open(src, 0, 4e6, Hard); err == nil {
+		t.Fatal("expected rejection")
+	}
+	if got := m.Utilization(); got != utilAtReject {
+		t.Fatalf("rejected session leaked reservations: %v -> %v", utilAtReject, got)
+	}
+}
+
+func TestSoftAdmissionAlwaysAdmits(t *testing.T) {
+	w, m := buildWorld(t)
+	defer w.Stop()
+	src := w.RandomSource()
+	// Saturate hard first.
+	for i := 0; i < 10; i++ {
+		if _, err := m.Open(src, 0, 4e6, Hard); err != nil {
+			break
+		}
+	}
+	s, err := m.Open(src, 0, 4e6, Soft)
+	if err != nil {
+		t.Fatalf("soft admission should not fail: %v", err)
+	}
+	if s.Coverage() >= 1 {
+		t.Fatalf("soft session on a saturated backbone should be partial, got %v", s.Coverage())
+	}
+}
+
+func TestImpossibleRateRejectedHard(t *testing.T) {
+	w, m := buildWorld(t)
+	defer w.Stop()
+	if _, err := m.Open(w.RandomSource(), 0, 1e12, Hard); err == nil {
+		t.Fatal("absurd rate admitted")
+	}
+}
+
+func TestOpenFromDownSource(t *testing.T) {
+	w, m := buildWorld(t)
+	defer w.Stop()
+	src := w.RandomSource()
+	w.Net.Node(src).Fail()
+	if _, err := m.Open(src, 0, 1000, Hard); err == nil {
+		t.Fatal("down source admitted")
+	}
+}
+
+func TestTreeCHsSpanMemberCubes(t *testing.T) {
+	w, m := buildWorld(t)
+	defer w.Stop()
+	src := w.RandomSource()
+	grid := w.Grid
+	vc := grid.VCOf(w.Net.Node(src).TruePos())
+	chs := m.treeCHs(logicalid.CHID(grid.Index(vc)), membership.Group(0))
+	if len(chs) < 2 {
+		t.Fatalf("tree spans only %d CHs for an 8-member group", len(chs))
+	}
+}

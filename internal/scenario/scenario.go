@@ -1,0 +1,299 @@
+// Package scenario assembles complete simulation setups: arena, node
+// population (heterogeneous capability per the paper's assumption),
+// mobility, the full HVDB protocol stack, group membership, traffic
+// generation, and failure injection. Experiments and examples build
+// worlds from a Spec instead of wiring packages by hand.
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/geom"
+	"repro/internal/gps"
+	"repro/internal/logicalid"
+	"repro/internal/membership"
+	"repro/internal/mobility"
+	"repro/internal/multicast"
+	"repro/internal/network"
+	"repro/internal/radio"
+	"repro/internal/vcgrid"
+	"repro/internal/xrand"
+)
+
+// MobilityKind selects the movement model of the ordinary nodes.
+type MobilityKind string
+
+// Supported mobility models.
+const (
+	Static      MobilityKind = "static"
+	Waypoint    MobilityKind = "waypoint"
+	Walk        MobilityKind = "walk"
+	GaussMarkov MobilityKind = "gauss-markov"
+	GroupMotion MobilityKind = "group"
+	Manhattan   MobilityKind = "manhattan"
+)
+
+// Spec declares one scenario.
+type Spec struct {
+	Seed uint64
+	// ArenaSize is the square arena side in meters; CellSize the VC
+	// tile side; Dim the hypercube dimension.
+	ArenaSize, CellSize float64
+	Dim                 int
+	// Nodes is the number of ordinary mobile nodes (on top of anchors).
+	Nodes int
+	// AnchorCHs places one static CH-capable node at every VCC — the
+	// paper's strong-capability backbone population (tanks, vehicles).
+	// Without anchors, a fraction CHCapableFrac of ordinary nodes is
+	// CH-capable.
+	AnchorCHs     bool
+	CHCapableFrac float64
+	// Mobility parameters for ordinary nodes.
+	Mobility           MobilityKind
+	MinSpeed, MaxSpeed float64
+	Pause              float64
+	// Groups and MembersPerGroup define multicast membership, assigned
+	// to random ordinary nodes.
+	Groups          int
+	MembersPerGroup int
+	// LossProb sets per-transmission loss on ordinary radios.
+	LossProb float64
+	// GPSError adds zero-mean Gaussian positioning error (meters std
+	// dev per axis) to every node's receiver; 0 keeps the paper's
+	// oracle-GPS assumption.
+	GPSError float64
+}
+
+// DefaultSpec is the Figure 2 configuration with a modest mobile
+// population.
+func DefaultSpec() Spec {
+	return Spec{
+		Seed:            1,
+		ArenaSize:       2000,
+		CellSize:        250,
+		Dim:             4,
+		Nodes:           200,
+		AnchorCHs:       true,
+		CHCapableFrac:   0.2,
+		Mobility:        Waypoint,
+		MinSpeed:        1,
+		MaxSpeed:        5,
+		Pause:           10,
+		Groups:          1,
+		MembersPerGroup: 10,
+	}
+}
+
+// World is a fully wired simulation.
+type World struct {
+	Spec   Spec
+	Sim    *des.Simulator
+	Net    *network.Network
+	Mux    *network.Mux
+	Grid   *vcgrid.Grid
+	Scheme *logicalid.Scheme
+	CM     *cluster.Manager
+	BB     *core.Backbone
+	MS     *membership.Service
+	MC     *multicast.Service
+
+	Rng *xrand.Rand
+	// Members lists the member nodes of each group.
+	Members map[membership.Group][]network.NodeID
+	// Ordinary lists the non-anchor nodes (traffic sources are drawn
+	// from these).
+	Ordinary []network.NodeID
+	// Anchors lists the anchor CH nodes (empty without AnchorCHs).
+	Anchors []network.NodeID
+
+	// group is the shared mover of GroupMotion scenarios, lazily built.
+	group *mobility.Group
+}
+
+// Build wires a world from the spec.
+func Build(spec Spec) (*World, error) {
+	if spec.ArenaSize <= 0 || spec.CellSize <= 0 {
+		return nil, fmt.Errorf("scenario: invalid arena %v cell %v", spec.ArenaSize, spec.CellSize)
+	}
+	w := &World{Spec: spec, Members: make(map[membership.Group][]network.NodeID)}
+	w.Sim = des.New()
+	w.Rng = xrand.New(spec.Seed)
+	arena := geom.RectWH(0, 0, spec.ArenaSize, spec.ArenaSize)
+	w.Net = network.New(w.Sim, arena, w.Rng.Split())
+	w.Grid = vcgrid.New(arena, spec.CellSize)
+
+	chRadio := radio.DefaultCH
+	mnRadio := radio.DefaultMN
+	mnRadio.LossProb = spec.LossProb
+
+	receiver := func() gps.Receiver {
+		if spec.GPSError <= 0 {
+			return nil // network defaults to the oracle
+		}
+		return gps.NewNoisy(spec.GPSError, 0, w.Rng.Split())
+	}
+	if spec.AnchorCHs {
+		for i := 0; i < w.Grid.Count(); i++ {
+			n := w.Net.AddNode(&mobility.Static{P: w.Grid.Center(w.Grid.FromIndex(i))}, chRadio, receiver(), true)
+			w.Anchors = append(w.Anchors, n.ID)
+		}
+	}
+	for i := 0; i < spec.Nodes; i++ {
+		capable := !spec.AnchorCHs && w.Rng.Bool(spec.CHCapableFrac)
+		rm := mnRadio
+		if capable {
+			rm = chRadio
+		}
+		n := w.Net.AddNode(w.buildMobility(arena), rm, receiver(), capable)
+		w.Ordinary = append(w.Ordinary, n.ID)
+	}
+
+	w.Mux = network.Bind(w.Net)
+	w.CM = cluster.NewManager(w.Net, w.Grid, cluster.DefaultConfig())
+	var err error
+	w.Scheme, err = logicalid.New(w.Grid, spec.Dim)
+	if err != nil {
+		return nil, err
+	}
+	w.BB = core.New(w.Net, w.Mux, w.CM, w.Scheme, core.DefaultConfig())
+	w.MS = membership.New(w.BB, membership.DefaultConfig())
+	w.MC = multicast.New(w.BB, w.MS, w.Mux, multicast.DefaultConfig())
+
+	// Group membership over ordinary nodes (members move; that is the
+	// point of the protocol).
+	pool := append([]network.NodeID(nil), w.Ordinary...)
+	if len(pool) == 0 {
+		pool = append(pool, w.Anchors...)
+	}
+	for g := 0; g < spec.Groups; g++ {
+		perm := w.Rng.Perm(len(pool))
+		count := spec.MembersPerGroup
+		if count > len(pool) {
+			count = len(pool)
+		}
+		for i := 0; i < count; i++ {
+			id := pool[perm[i]]
+			w.MS.Join(id, membership.Group(g))
+			w.Members[membership.Group(g)] = append(w.Members[membership.Group(g)], id)
+		}
+	}
+	w.CM.Elect()
+	return w, nil
+}
+
+func (w *World) buildMobility(arena geom.Rect) mobility.Model {
+	s := w.Spec
+	switch s.Mobility {
+	case Waypoint:
+		return mobility.NewWaypoint(arena, s.MinSpeed, s.MaxSpeed, s.Pause, w.Rng.Split())
+	case Walk:
+		return mobility.NewWalk(arena, s.MaxSpeed, 10, w.Rng.Split())
+	case GaussMarkov:
+		return mobility.NewGaussMarkov(arena, s.MaxSpeed, 0.85, 1, w.Rng.Split())
+	case Manhattan:
+		return mobility.NewManhattan(arena, w.Spec.CellSize, s.MaxSpeed, w.Rng.Split())
+	case GroupMotion:
+		if w.group == nil {
+			w.group = mobility.NewGroup(arena, s.MinSpeed, s.MaxSpeed, s.Pause, w.Rng.Split())
+		}
+		offset := geom.Vec(w.Rng.Range(-60, 60), w.Rng.Range(-60, 60))
+		return w.group.Member(offset, 10, w.Rng.Split())
+	default:
+		return &mobility.Static{P: geom.Pt(w.Rng.Range(arena.Min.X, arena.Max.X), w.Rng.Range(arena.Min.Y, arena.Max.Y))}
+	}
+}
+
+// Start launches the full periodic protocol stack.
+func (w *World) Start() {
+	w.CM.Start()
+	w.BB.Start()
+	w.MS.Start()
+}
+
+// Stop cancels the periodic stack.
+func (w *World) Stop() {
+	w.CM.Stop()
+	w.BB.Stop()
+	w.MS.Stop()
+}
+
+// WarmUp runs the stack for d simulated seconds and then clears traffic
+// counters, so measurements start from a converged state.
+func (w *World) WarmUp(d des.Duration) {
+	w.Sim.RunUntil(w.Sim.Now() + d)
+	w.Net.ResetTraffic()
+}
+
+// CBR schedules constant-bit-rate multicast traffic: the source sends a
+// payload of size bytes to the group every interval, count times, using
+// the provided send function (HVDB's MC.Send or a baseline's Send).
+// Returns a slice that accumulates the UIDs of sent packets.
+func (w *World) CBR(send func() uint64, interval des.Duration, count int) *[]uint64 {
+	uids := &[]uint64{}
+	var i int
+	var tick func()
+	tick = func() {
+		if i >= count {
+			return
+		}
+		i++
+		if uid := send(); uid != 0 {
+			*uids = append(*uids, uid)
+		}
+		w.Sim.After(interval, tick)
+	}
+	w.Sim.After(0, tick)
+	return uids
+}
+
+// FailRandomAnchors takes down the given number of anchor CH nodes,
+// returning the failed IDs.
+func (w *World) FailRandomAnchors(count int) []network.NodeID {
+	perm := w.Rng.Perm(len(w.Anchors))
+	var out []network.NodeID
+	for i := 0; i < count && i < len(w.Anchors); i++ {
+		id := w.Anchors[perm[i]]
+		w.Net.Node(id).Fail()
+		out = append(out, id)
+	}
+	return out
+}
+
+// Baseline instantiates a comparison protocol on this world's network
+// with the same group membership. Valid names: flooding, dsm, pbm,
+// spbm, cbt.
+func (w *World) Baseline(name string) (baseline.Protocol, error) {
+	var p baseline.Protocol
+	switch name {
+	case "flooding":
+		p = baseline.NewFlooding(w.Net, w.Mux)
+	case "dsm":
+		p = baseline.NewDSM(w.Net, w.Mux)
+	case "pbm":
+		p = baseline.NewPBM(w.Net, w.Mux)
+	case "spbm":
+		p = baseline.NewSPBM(w.Net, w.Mux)
+	case "cbt":
+		p = baseline.NewCBT(w.Net, w.Mux)
+	default:
+		return nil, fmt.Errorf("scenario: unknown baseline %q", name)
+	}
+	for g, members := range w.Members {
+		for _, id := range members {
+			p.Join(id, baseline.Group(g))
+		}
+	}
+	return p, nil
+}
+
+// RandomSource picks an ordinary node to originate traffic.
+func (w *World) RandomSource() network.NodeID {
+	if len(w.Ordinary) == 0 {
+		return w.Anchors[w.Rng.Pick(len(w.Anchors))]
+	}
+	return w.Ordinary[w.Rng.Pick(len(w.Ordinary))]
+}

@@ -1,0 +1,273 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/membership"
+	"repro/internal/network"
+)
+
+func TestBuildDefault(t *testing.T) {
+	w, err := Build(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Net.Len() != 64+200 {
+		t.Fatalf("nodes %d want 264 (64 anchors + 200 ordinary)", w.Net.Len())
+	}
+	if len(w.Anchors) != 64 || len(w.Ordinary) != 200 {
+		t.Fatalf("anchors %d ordinary %d", len(w.Anchors), len(w.Ordinary))
+	}
+	if w.Scheme.NumHypercubes() != 4 {
+		t.Fatalf("hypercubes %d want 4", w.Scheme.NumHypercubes())
+	}
+	if len(w.Members[0]) != 10 {
+		t.Fatalf("group members %d want 10", len(w.Members[0]))
+	}
+	// Anchors guarantee every VC has a CH after the initial election.
+	if got := len(w.CM.Heads()); got != 64 {
+		t.Fatalf("clusters headed %d want 64", got)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	bad := DefaultSpec()
+	bad.ArenaSize = 0
+	if _, err := Build(bad); err == nil {
+		t.Fatal("zero arena should fail")
+	}
+	bad = DefaultSpec()
+	bad.Dim = 99
+	if _, err := Build(bad); err == nil {
+		t.Fatal("absurd dimension should fail")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Nodes = 50
+	a, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.Net.Len(); i++ {
+		pa := a.Net.Node(network.NodeID(i)).TruePos()
+		pb := b.Net.Node(network.NodeID(i)).TruePos()
+		if pa != pb {
+			t.Fatalf("node %d placed at %v vs %v for same seed", i, pa, pb)
+		}
+	}
+	if len(a.Members[0]) != len(b.Members[0]) {
+		t.Fatal("group assignment not deterministic")
+	}
+	for i := range a.Members[0] {
+		if a.Members[0][i] != b.Members[0][i] {
+			t.Fatal("group members differ across identical builds")
+		}
+	}
+}
+
+func TestMobilityKinds(t *testing.T) {
+	for _, kind := range []MobilityKind{Static, Waypoint, Walk, GaussMarkov, GroupMotion, Manhattan} {
+		spec := DefaultSpec()
+		spec.Nodes = 20
+		spec.Mobility = kind
+		w, err := Build(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		w.Sim.RunUntil(5)
+		for _, id := range w.Ordinary {
+			p := w.Net.Node(id).TruePos()
+			if p.X < 0 || p.X > spec.ArenaSize || p.Y < 0 || p.Y > spec.ArenaSize {
+				t.Fatalf("%s: node %d escaped arena: %v", kind, id, p)
+			}
+		}
+	}
+}
+
+func TestNoAnchorsCapableFraction(t *testing.T) {
+	spec := DefaultSpec()
+	spec.AnchorCHs = false
+	spec.CHCapableFrac = 0.5
+	spec.Nodes = 200
+	w, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Anchors) != 0 {
+		t.Fatal("anchors present despite AnchorCHs=false")
+	}
+	capable := 0
+	for _, n := range w.Net.Nodes() {
+		if n.CHCapable {
+			capable++
+		}
+	}
+	if capable < 60 || capable > 140 {
+		t.Fatalf("capable count %d far from half of 200", capable)
+	}
+}
+
+func TestStartStopAndWarmUp(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Nodes = 30
+	w, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	w.WarmUp(5)
+	if w.Sim.Now() != 5 {
+		t.Fatalf("warm-up ended at %v", w.Sim.Now())
+	}
+	if w.Net.Stats().ControlBytes != 0 {
+		t.Fatal("WarmUp should reset traffic counters")
+	}
+	w.Stop()
+	// Let in-flight packets drain, then the periodic planes must be
+	// quiet: no new events in a later window.
+	w.Sim.RunUntil(10)
+	before := w.Sim.Executed()
+	w.Sim.RunUntil(30)
+	if got := w.Sim.Executed() - before; got != 0 {
+		t.Fatalf("stack still active after Stop: %d events in the quiet window", got)
+	}
+}
+
+func TestCBRSchedulesExactCount(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Nodes = 10
+	w, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	w.CBR(func() uint64 { n++; return uint64(n) }, 0.5, 7)
+	w.Sim.RunUntil(100)
+	if n != 7 {
+		t.Fatalf("CBR fired %d times want 7", n)
+	}
+}
+
+func TestFailRandomAnchors(t *testing.T) {
+	w, err := Build(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := w.FailRandomAnchors(10)
+	if len(failed) != 10 {
+		t.Fatalf("failed %d want 10", len(failed))
+	}
+	for _, id := range failed {
+		if w.Net.Node(id).Up() {
+			t.Fatalf("node %d still up", id)
+		}
+	}
+}
+
+func TestBaselines(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Nodes = 40
+	spec.Groups = 1
+	spec.MembersPerGroup = 5
+	for _, name := range []string{"flooding", "dsm", "pbm", "spbm", "cbt"} {
+		w, err := Build(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := w.Baseline(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("name %q want %q", p.Name(), name)
+		}
+		p.Start()
+		uid := p.Send(w.RandomSource(), 0, 100)
+		w.Sim.RunUntil(w.Sim.Now() + 10)
+		p.Stop()
+		_ = uid // delivery depends on topology; Send must at least not panic
+	}
+	w, _ := Build(spec)
+	if _, err := w.Baseline("nope"); err == nil {
+		t.Fatal("unknown baseline should error")
+	}
+}
+
+func TestGroupMembershipJoined(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Groups = 3
+	spec.MembersPerGroup = 6
+	spec.Nodes = 60
+	w, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < 3; g++ {
+		if len(w.Members[membership.Group(g)]) != 6 {
+			t.Fatalf("group %d has %d members", g, len(w.Members[membership.Group(g)]))
+		}
+		for _, id := range w.Members[membership.Group(g)] {
+			found := false
+			for _, jg := range w.MS.GroupsOf(id) {
+				if jg == membership.Group(g) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("member %d not joined to group %d in membership service", id, g)
+			}
+		}
+	}
+}
+
+func TestRandomSourceIsOrdinary(t *testing.T) {
+	w, err := Build(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		src := w.RandomSource()
+		if w.Net.Node(src).CHCapable {
+			t.Fatal("random source should be an ordinary node when available")
+		}
+	}
+}
+
+func TestGPSErrorSpec(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Nodes = 30
+	spec.GPSError = 20
+	w, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 20 m positioning error, reported fixes differ from truth for
+	// most nodes most of the time.
+	differs := 0
+	for _, n := range w.Net.Nodes() {
+		if n.Fix().Pos != n.TruePos() {
+			differs++
+		}
+	}
+	if differs < w.Net.Len()/2 {
+		t.Fatalf("only %d/%d noisy fixes differ from truth", differs, w.Net.Len())
+	}
+	// The stack must still converge and deliver despite the error.
+	w.Start()
+	w.WarmUp(12)
+	delivered := 0
+	w.MC.OnDeliver(func(network.NodeID, uint64, des.Time, int) { delivered++ })
+	w.MC.Send(w.RandomSource(), 0, 128)
+	w.Sim.RunUntil(w.Sim.Now() + 5)
+	w.Stop()
+	if delivered == 0 {
+		t.Fatal("no delivery under 20 m GPS error")
+	}
+}

@@ -1,0 +1,372 @@
+// Package stats provides the statistical accumulators the experiment
+// harness reports with: running mean/variance, percentiles, fixed-bin
+// histograms, Jain's fairness index (the paper's load-balancing claim is
+// quantified with it), and Student-t confidence intervals across
+// replicated runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Accumulator keeps running count, mean, and variance using Welford's
+// algorithm, plus min and max. The zero value is ready to use.
+type Accumulator struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// AddN records the observation x with weight n (n identical samples).
+func (a *Accumulator) AddN(x float64, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		a.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() uint64 { return a.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Sum returns the total of all observations.
+func (a *Accumulator) Sum() float64 { return a.mean * float64(a.n) }
+
+// Var returns the unbiased sample variance.
+func (a *Accumulator) Var() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (a *Accumulator) Std() float64 { return math.Sqrt(a.Var()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// String summarizes the accumulator for harness output.
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g max=%.4g",
+		a.n, a.Mean(), a.Std(), a.min, a.max)
+}
+
+// Merge folds the other accumulator into a (parallel reduction across
+// replicated runs). Chan-style merging keeps the harness single-pass.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	mean := a.mean + delta*float64(b.n)/float64(n)
+	m2 := a.m2 + b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n, a.mean, a.m2 = n, mean, m2
+}
+
+// Sample retains every observation so exact percentiles can be computed.
+// Use it for bounded-cardinality metrics (per-run results); use
+// Accumulator for per-packet metrics.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns the recorded observations (shared slice; callers must
+// not modify it).
+func (s *Sample) Values() []float64 { return s.xs }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Std returns the unbiased sample standard deviation.
+func (s *Sample) Std() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using linear
+// interpolation between closest ranks, or 0 with no observations.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	if p <= 0 {
+		return s.xs[0]
+	}
+	if p >= 100 {
+		return s.xs[len(s.xs)-1]
+	}
+	rank := p / 100 * float64(len(s.xs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.xs[lo]
+	}
+	frac := rank - float64(lo)
+	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// JainIndex computes Jain's fairness index of the loads xs:
+// (sum x)^2 / (n * sum x^2). It is 1 for perfectly even load and 1/n when
+// one element carries everything; the paper's load-balancing claim is
+// "no node is more loaded than any others", i.e. index near 1.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1 // all zero loads are perfectly even
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// CoefficientOfVariation returns std/mean of xs, another dispersion
+// measure reported alongside the Jain index.
+func CoefficientOfVariation(xs []float64) float64 {
+	var s Sample
+	for _, x := range xs {
+		s.Add(x)
+	}
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return s.Std() / m
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi); observations
+// outside the range are clamped into the edge bins so totals are
+// preserved.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []uint64
+	count  uint64
+}
+
+// NewHistogram returns a histogram with the given bin count over
+// [lo, hi). It panics on a non-positive bin count or an empty range,
+// which are always configuration errors.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]uint64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Bins) {
+		i = len(h.Bins) - 1
+	}
+	h.Bins[i]++
+	h.count++
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// String renders a compact ASCII bar chart, one row per bin.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	width := h.Hi - h.Lo
+	var maxBin uint64
+	for _, c := range h.Bins {
+		if c > maxBin {
+			maxBin = c
+		}
+	}
+	for i, c := range h.Bins {
+		lo := h.Lo + width*float64(i)/float64(len(h.Bins))
+		hi := h.Lo + width*float64(i+1)/float64(len(h.Bins))
+		bar := 0
+		if maxBin > 0 {
+			bar = int(40 * c / maxBin)
+		}
+		fmt.Fprintf(&b, "[%8.3g,%8.3g) %8d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}
+
+// MeanCI returns the mean of xs and the half-width of its two-sided 95%
+// Student-t confidence interval. With fewer than two samples the
+// half-width is 0.
+func MeanCI(xs []float64) (mean, halfWidth float64) {
+	var s Sample
+	for _, x := range xs {
+		s.Add(x)
+	}
+	n := s.N()
+	mean = s.Mean()
+	if n < 2 {
+		return mean, 0
+	}
+	t := tCritical95(n - 1)
+	return mean, t * s.Std() / math.Sqrt(float64(n))
+}
+
+// tCritical95 returns the two-sided 95% critical value of Student's t
+// with df degrees of freedom (table for small df, normal approximation
+// beyond).
+func tCritical95(df int) float64 {
+	table := []float64{ // df = 1..30
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df <= 0 {
+		return math.NaN()
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	return 1.960
+}
+
+// TimeSeries accumulates (time, value) observations into fixed-width
+// windows, reporting per-window sums — the rate-over-time view used for
+// overhead and delivery plots. Observations before the start time are
+// folded into the first window; the series grows as needed.
+type TimeSeries struct {
+	Start, Width float64
+	sums         []float64
+	counts       []uint64
+}
+
+// NewTimeSeries returns a series with the given window width (seconds),
+// starting at start. It panics on a non-positive width.
+func NewTimeSeries(start, width float64) *TimeSeries {
+	if width <= 0 {
+		panic("stats: non-positive time series window")
+	}
+	return &TimeSeries{Start: start, Width: width}
+}
+
+// Add records a value at time t.
+func (ts *TimeSeries) Add(t, v float64) {
+	idx := 0
+	if t > ts.Start {
+		idx = int((t - ts.Start) / ts.Width)
+	}
+	for idx >= len(ts.sums) {
+		ts.sums = append(ts.sums, 0)
+		ts.counts = append(ts.counts, 0)
+	}
+	ts.sums[idx] += v
+	ts.counts[idx]++
+}
+
+// Windows returns the number of windows materialized so far.
+func (ts *TimeSeries) Windows() int { return len(ts.sums) }
+
+// Sum returns the total of window i (0 for untouched windows).
+func (ts *TimeSeries) Sum(i int) float64 {
+	if i < 0 || i >= len(ts.sums) {
+		return 0
+	}
+	return ts.sums[i]
+}
+
+// Count returns the number of observations in window i.
+func (ts *TimeSeries) Count(i int) uint64 {
+	if i < 0 || i >= len(ts.counts) {
+		return 0
+	}
+	return ts.counts[i]
+}
+
+// Rate returns window i's sum divided by the window width — the
+// per-second rate over that window.
+func (ts *TimeSeries) Rate(i int) float64 { return ts.Sum(i) / ts.Width }
+
+// Rates returns the per-second rate of every window.
+func (ts *TimeSeries) Rates() []float64 {
+	out := make([]float64, len(ts.sums))
+	for i := range ts.sums {
+		out[i] = ts.Rate(i)
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N=%d", a.N())
+	}
+	if !almostEq(a.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean=%v want 5", a.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if !almostEq(a.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("Var=%v want %v", a.Var(), 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max %v %v", a.Min(), a.Max())
+	}
+	if !almostEq(a.Sum(), 40, 1e-9) {
+		t.Fatalf("Sum=%v want 40", a.Sum())
+	}
+}
+
+func TestAccumulatorEmpty(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Var() != 0 || a.Std() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+}
+
+func TestAccumulatorAddN(t *testing.T) {
+	var a, b Accumulator
+	a.AddN(3, 5)
+	for i := 0; i < 5; i++ {
+		b.Add(3)
+	}
+	if a.N() != b.N() || a.Mean() != b.Mean() {
+		t.Fatal("AddN should equal repeated Add")
+	}
+}
+
+func TestAccumulatorMergeMatchesCombined(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		clean := func(vs []float64) []float64 {
+			out := vs[:0:0]
+			for _, v := range vs {
+				if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+					out = append(out, v)
+				}
+			}
+			return out
+		}
+		xs, ys = clean(xs), clean(ys)
+		var a, b, all Accumulator
+		for _, x := range xs {
+			a.Add(x)
+			all.Add(x)
+		}
+		for _, y := range ys {
+			b.Add(y)
+			all.Add(y)
+		}
+		a.Merge(&b)
+		return a.N() == all.N() &&
+			almostEq(a.Mean(), all.Mean(), 1e-6*(1+math.Abs(all.Mean()))) &&
+			almostEq(a.Var(), all.Var(), 1e-4*(1+all.Var()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSamplePercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Median(); !almostEq(got, 50.5, 1e-9) {
+		t.Errorf("median %v want 50.5", got)
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("p0 %v want 1", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Errorf("p100 %v want 100", got)
+	}
+	if got := s.Percentile(95); !almostEq(got, 95.05, 1e-9) {
+		t.Errorf("p95 %v want 95.05", got)
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Percentile(50) != 0 || s.Mean() != 0 || s.Std() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestSamplePercentileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, p1, p2 uint8) bool {
+		var s Sample
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				s.Add(x)
+			}
+		}
+		a := float64(p1 % 101)
+		b := float64(p2 % 101)
+		if a > b {
+			a, b = b, a
+		}
+		return s.Percentile(a) <= s.Percentile(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); !almostEq(got, 1, 1e-12) {
+		t.Errorf("even loads index %v want 1", got)
+	}
+	if got := JainIndex([]float64{4, 0, 0, 0}); !almostEq(got, 0.25, 1e-12) {
+		t.Errorf("single hot spot index %v want 0.25", got)
+	}
+	if got := JainIndex(nil); got != 0 {
+		t.Errorf("empty index %v want 0", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 1 {
+		t.Errorf("all-zero index %v want 1", got)
+	}
+}
+
+func TestJainIndexBoundsProperty(t *testing.T) {
+	f := func(xs []uint16) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		loads := make([]float64, len(xs))
+		for i, x := range xs {
+			loads[i] = float64(x)
+		}
+		j := JainIndex(loads)
+		return j >= 1.0/float64(len(xs))-1e-9 && j <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	if got := CoefficientOfVariation([]float64{5, 5, 5}); got != 0 {
+		t.Errorf("constant CV %v want 0", got)
+	}
+	if got := CoefficientOfVariation(nil); got != 0 {
+		t.Errorf("empty CV %v want 0", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1, 2.5, 5, 9.99, -3, 42} {
+		h.Add(x)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("Count=%d", h.Count())
+	}
+	// -3 clamps into bin 0, 42 into bin 4.
+	if h.Bins[0] != 3 { // 0, 1, -3
+		t.Errorf("bin0=%d want 3", h.Bins[0])
+	}
+	if h.Bins[4] != 2 { // 9.99, 42
+		t.Errorf("bin4=%d want 2", h.Bins[4])
+	}
+	if h.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestMeanCI(t *testing.T) {
+	mean, hw := MeanCI([]float64{10, 10, 10, 10})
+	if mean != 10 || hw != 0 {
+		t.Fatalf("constant CI got %v±%v", mean, hw)
+	}
+	mean, hw = MeanCI([]float64{8, 12})
+	if mean != 10 {
+		t.Fatalf("mean %v want 10", mean)
+	}
+	// std = 2*sqrt(2)... actually std of {8,12} = sqrt(8) = 2.828; se = 2; t(1)=12.706
+	if !almostEq(hw, 12.706*2.8284271247/math.Sqrt(2), 1e-3) {
+		t.Fatalf("half width %v", hw)
+	}
+	if _, hw := MeanCI([]float64{1}); hw != 0 {
+		t.Fatal("single sample should have zero half-width")
+	}
+}
+
+func TestTCriticalMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df <= 40; df++ {
+		v := tCritical95(df)
+		if v > prev+1e-9 {
+			t.Fatalf("t-critical not non-increasing at df=%d", df)
+		}
+		prev = v
+	}
+	if !math.IsNaN(tCritical95(0)) {
+		t.Fatal("df=0 should be NaN")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(10, 2)
+	ts.Add(10, 4)   // window 0
+	ts.Add(11.9, 6) // window 0
+	ts.Add(12, 1)   // window 1
+	ts.Add(17, 3)   // window 3
+	ts.Add(5, 2)    // before start: folds into window 0
+	if ts.Windows() != 4 {
+		t.Fatalf("windows %d want 4", ts.Windows())
+	}
+	if ts.Sum(0) != 12 || ts.Count(0) != 3 {
+		t.Fatalf("window 0: sum %v count %d", ts.Sum(0), ts.Count(0))
+	}
+	if ts.Sum(1) != 1 || ts.Sum(2) != 0 || ts.Sum(3) != 3 {
+		t.Fatal("window sums wrong")
+	}
+	if ts.Rate(0) != 6 {
+		t.Fatalf("rate %v want 6", ts.Rate(0))
+	}
+	if got := ts.Rates(); len(got) != 4 || got[3] != 1.5 {
+		t.Fatalf("rates %v", got)
+	}
+	if ts.Sum(-1) != 0 || ts.Sum(9) != 0 || ts.Count(9) != 0 {
+		t.Fatal("out-of-range windows should read zero")
+	}
+}
+
+func TestTimeSeriesPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewTimeSeries(0, 0)
+}

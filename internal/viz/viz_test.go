@@ -1,0 +1,97 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logicalid"
+	"repro/internal/scenario"
+	"repro/internal/vcgrid"
+)
+
+func buildWorld(t *testing.T) *scenario.World {
+	t.Helper()
+	spec := scenario.DefaultSpec()
+	spec.Nodes = 0 // anchors only: fully occupied backbone
+	w, err := scenario.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGridViewFullBackbone(t *testing.T) {
+	w := buildWorld(t)
+	out := GridView(w.BB)
+	if strings.Contains(out, ".") {
+		t.Fatalf("fully anchored backbone should have no empty slots:\n%s", out)
+	}
+	if !strings.Contains(out, "B") || !strings.Contains(out, "i") {
+		t.Fatalf("expected both BCH and ICH markers:\n%s", out)
+	}
+	if !strings.Contains(out, "|") {
+		t.Fatalf("expected block separators:\n%s", out)
+	}
+	// 8 rows of cells plus 1 separator row.
+	if got := strings.Count(out, "\n"); got != 9 {
+		t.Fatalf("line count %d want 9:\n%s", got, out)
+	}
+}
+
+func TestGridViewShowsHoles(t *testing.T) {
+	w := buildWorld(t)
+	w.Net.Node(w.CM.CHOf(vcgrid.VC{CX: 1, CY: 1})).Fail()
+	w.CM.Elect()
+	out := GridView(w.BB)
+	if !strings.Contains(out, ".") {
+		t.Fatalf("failed CH should render as hole:\n%s", out)
+	}
+}
+
+func TestCubeView(t *testing.T) {
+	w := buildWorld(t)
+	out := CubeView(w.BB, 0)
+	// The Figure 3 layout appears with rows top-down (north first):
+	// bottom line of the print is by=0: 0000 0001 0100 0101.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if last != "0000 0001 0100 0101" {
+		t.Fatalf("bottom row %q want Figure 3's first row", last)
+	}
+	// Kill a CH: its label becomes dashes.
+	w.Net.Node(w.CM.CHOf(vcgrid.VC{CX: 0, CY: 0})).Fail()
+	w.CM.Elect()
+	out = CubeView(w.BB, 0)
+	if !strings.Contains(out, "----") {
+		t.Fatalf("absent label should render as dashes:\n%s", out)
+	}
+}
+
+func TestMeshView(t *testing.T) {
+	w := buildWorld(t)
+	out := MeshView(w.BB)
+	if strings.Count(out, "#") != 4 {
+		t.Fatalf("mesh should have 4 actual nodes:\n%s", out)
+	}
+	// Empty an entire block: its mesh node must vanish.
+	for _, vc := range w.Scheme.BlockVCs(logicalid.HID(3)) {
+		if ch := w.CM.CHOf(vc); ch >= 0 {
+			w.Net.Node(ch).Fail()
+		}
+	}
+	w.CM.Elect()
+	out = MeshView(w.BB)
+	if strings.Count(out, "#") != 3 || !strings.Contains(out, ".") {
+		t.Fatalf("mesh after emptying block 3:\n%s", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	w := buildWorld(t)
+	s := Summary(w.BB, w.CM)
+	for _, want := range []string{"64/64 VCs", "4/4 hypercubes", "connected=true"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q: %s", want, s)
+		}
+	}
+}
