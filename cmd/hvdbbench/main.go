@@ -5,7 +5,13 @@
 //	hvdbbench               # all experiments, full size
 //	hvdbbench -exp f4       # just the Figure 4 experiment
 //	hvdbbench -quick        # reduced sizes (smoke test)
+//	hvdbbench -parallel 8   # fan runs over 8 workers (same tables)
 //	hvdbbench -list         # list experiment IDs
+//
+// Independent runs inside each experiment (trials, sweep points,
+// protocol arms) are fanned across -parallel workers; per-run seeds are
+// derived positionally from -seed, so the tables are byte-identical at
+// every -parallel setting.
 package main
 
 import (
@@ -22,11 +28,12 @@ func main() {
 	log.SetPrefix("hvdbbench: ")
 
 	var (
-		exp   = flag.String("exp", "", "experiment ID to run (default: all)")
-		quick = flag.Bool("quick", false, "run reduced configurations")
-		seed  = flag.Uint64("seed", 1, "PRNG seed")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp      = flag.String("exp", "", "experiment ID to run (default: all)")
+		quick    = flag.Bool("quick", false, "run reduced configurations")
+		seed     = flag.Uint64("seed", 1, "PRNG seed")
+		parallel = flag.Int("parallel", 0, "max concurrent runs per experiment (0 = GOMAXPROCS); tables are identical at every setting")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	)
 	flag.Parse()
 
@@ -42,6 +49,7 @@ func main() {
 		opts = experiment.QuickOptions()
 	}
 	opts.Seed = *seed
+	opts.Workers = *parallel
 
 	ids := experiment.IDs()
 	if *exp != "" {

@@ -1,10 +1,16 @@
-// Command hvdbsim runs one HVDB simulation scenario from flags and
-// reports delivery and overhead metrics, tracing protocol events on
-// request.
+// Command hvdbsim runs HVDB simulation scenarios from flags and reports
+// delivery and overhead metrics, tracing protocol events on request.
+//
+// A single trial prints the full metric breakdown. With -trials N the
+// scenario is replicated N times with positionally derived seeds
+// (runner.DeriveSeed, so trial i sees the same world at any worker
+// count) and the trials are fanned across -parallel workers; the output
+// is then a per-metric mean with its 95% confidence half-width.
 //
 // Example:
 //
 //	hvdbsim -nodes 300 -groups 2 -members 12 -speed 10 -packets 30 -trace multicast
+//	hvdbsim -nodes 300 -trials 16 -parallel 4
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"repro/internal/membership"
 	"repro/internal/network"
 	"repro/internal/radio"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -40,34 +47,86 @@ func main() {
 		payload  = flag.Int("payload", 512, "payload bytes per packet")
 		warm     = flag.Float64("warmup", 15, "warm-up simulated seconds")
 		loss     = flag.Float64("loss", 0, "per-transmission loss probability")
+		trials   = flag.Int("trials", 1, "independent trials (seeds derived per trial)")
+		parallel = flag.Int("parallel", 0, "max concurrent trials (0 = GOMAXPROCS)")
 		traceCat = flag.String("trace", "", "comma-separated trace categories (sim,mobility,radio,cluster,routes,membership,multicast)")
 	)
 	flag.Parse()
 
-	spec := scenario.DefaultSpec()
-	spec.Seed = *seed
-	spec.ArenaSize = *arena
-	spec.CellSize = *cell
-	spec.Dim = *dim
-	spec.Nodes = *nodes
-	spec.Groups = *groups
-	spec.MembersPerGroup = *members
-	spec.LossProb = *loss
+	baseSpec := scenario.DefaultSpec()
+	baseSpec.Seed = *seed
+	baseSpec.ArenaSize = *arena
+	baseSpec.CellSize = *cell
+	baseSpec.Dim = *dim
+	baseSpec.Nodes = *nodes
+	baseSpec.Groups = *groups
+	baseSpec.MembersPerGroup = *members
+	baseSpec.LossProb = *loss
 	if *speed <= 0 {
-		spec.Mobility = scenario.Static
+		baseSpec.Mobility = scenario.Static
 	} else {
-		spec.Mobility = scenario.Waypoint
-		spec.MinSpeed = 1
-		spec.MaxSpeed = *speed
+		baseSpec.Mobility = scenario.Waypoint
+		baseSpec.MinSpeed = 1
+		baseSpec.MaxSpeed = *speed
 	}
 
-	w, err := scenario.Build(spec)
+	if *trials <= 1 {
+		res, err := runTrial(baseSpec, *warm, *packets, *payload, *traceCat, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printSingle(res)
+		return
+	}
+	if *traceCat != "" {
+		log.Fatal("-trace requires -trials 1 (interleaved traces are unreadable)")
+	}
+
+	results, err := runner.Map(runner.Config{Workers: *parallel}, *seed, *trials,
+		func(r runner.Run) (trialResult, error) {
+			spec := baseSpec
+			spec.Seed = r.Seed
+			return runTrial(spec, *warm, *packets, *payload, "", false)
+		})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if *traceCat != "" {
+	printAggregate(*seed, results)
+}
+
+// trialResult is everything one scenario run reports.
+type trialResult struct {
+	desc                 string
+	grid                 string
+	clusters             int
+	endTime              float64
+	expected, delivered  int
+	meanDelay, p95Delay  float64
+	ctlPerNodeS          float64
+	dataBytes            uint64
+	jain                 float64
+	energyJ, energyMaxJ  float64
+	chChanges, elections uint64
+}
+
+func (r trialResult) pdr() float64 {
+	if r.expected == 0 {
+		return 0
+	}
+	return float64(r.delivered) / float64(r.expected)
+}
+
+// runTrial builds one world, drives the warm-up and traffic phases, and
+// collects the metrics. Each call owns its world and simulator, so
+// trials can run concurrently.
+func runTrial(spec scenario.Spec, warm float64, packets, payload int, traceCat string, verbose bool) (trialResult, error) {
+	w, err := scenario.Build(spec)
+	if err != nil {
+		return trialResult{}, err
+	}
+	if traceCat != "" {
 		var cats []trace.Category
-		for _, name := range strings.Split(*traceCat, ",") {
+		for _, name := range strings.Split(traceCat, ",") {
 			found := false
 			for c := trace.Category(0); c < trace.NumCategories; c++ {
 				if c.String() == strings.TrimSpace(name) {
@@ -76,7 +135,7 @@ func main() {
 				}
 			}
 			if !found {
-				log.Fatalf("unknown trace category %q", name)
+				return trialResult{}, fmt.Errorf("unknown trace category %q", name)
 			}
 		}
 		tr := trace.NewWriter(os.Stderr, cats...)
@@ -87,75 +146,104 @@ func main() {
 		w.MC.SetTracer(tr)
 	}
 
-	fmt.Printf("%s | grid %dx%d VCs, %d hypercubes of dim %d\n",
-		w.Net, w.Grid.Cols(), w.Grid.Rows(), w.Scheme.NumHypercubes(), w.Scheme.Dim())
+	res := trialResult{
+		desc: fmt.Sprint(w.Net),
+		grid: fmt.Sprintf("grid %dx%d VCs, %d hypercubes of dim %d",
+			w.Grid.Cols(), w.Grid.Rows(), w.Scheme.NumHypercubes(), w.Scheme.Dim()),
+	}
 
 	w.Start()
-	w.WarmUp(des.Duration(*warm))
-	fmt.Printf("warm-up done at t=%.1fs: %d clusters headed\n", float64(w.Sim.Now()), len(w.CM.Heads()))
+	w.WarmUp(des.Duration(warm))
+	res.clusters = len(w.CM.Heads())
+	if verbose {
+		fmt.Printf("%s | %s\n", res.desc, res.grid)
+		fmt.Printf("warm-up done at t=%.1fs: %d clusters headed\n", float64(w.Sim.Now()), res.clusters)
+	}
 
 	// Traffic phase: CBR per group from a random source.
-	type groupRun struct {
-		g        membership.Group
-		expected int
-		delays   stats.Sample
-	}
-	runs := make([]*groupRun, spec.Groups)
-	delivered := 0
+	var delays stats.Sample
 	w.MC.OnDeliver(func(member network.NodeID, uid uint64, born des.Time, hops int) {
-		delivered++
-		for _, r := range runs {
-			if r != nil {
-				r.delays.Add(float64(w.Sim.Now() - born))
-				break
-			}
-		}
+		res.delivered++
+		delays.Add(float64(w.Sim.Now() - born))
 	})
 	for g := 0; g < spec.Groups; g++ {
 		g := membership.Group(g)
-		run := &groupRun{g: g}
-		runs[g] = run
 		src := w.RandomSource()
 		w.CBR(func() uint64 {
-			uid := w.MC.Send(src, g, *payload)
+			uid := w.MC.Send(src, g, payload)
 			if uid != 0 {
-				run.expected += len(w.Members[g])
+				res.expected += len(w.Members[g])
 			}
 			return uid
-		}, 0.5, *packets)
+		}, 0.5, packets)
 	}
-	w.Sim.RunUntil(w.Sim.Now() + des.Duration(*packets)*0.5 + 5)
+	w.Sim.RunUntil(w.Sim.Now() + des.Duration(packets)*0.5 + 5)
 	w.Stop()
 
-	expected := 0
-	var allDelays stats.Sample
-	for _, r := range runs {
-		expected += r.expected
-		for _, d := range r.delays.Values() {
-			allDelays.Add(d)
-		}
-	}
 	st := w.Net.Stats()
-	elapsed := float64(w.Sim.Now()) - *warm
-	fmt.Printf("\nresults at t=%.1fs:\n", float64(w.Sim.Now()))
-	if expected > 0 {
-		fmt.Printf("  delivery ratio      %.1f%% (%d of %d member deliveries)\n",
-			100*float64(delivered)/float64(expected), delivered, expected)
-	}
-	fmt.Printf("  mean delay          %.2f ms (p95 %.2f ms)\n",
-		allDelays.Mean()*1000, allDelays.Percentile(95)*1000)
-	fmt.Printf("  control overhead    %.0f bytes/node/s\n",
-		float64(st.ControlBytes)/float64(w.Net.Len())/elapsed)
-	fmt.Printf("  data traffic        %d bytes total\n", st.DataBytes)
-	fmt.Printf("  forwarding fairness %.3f (Jain index)\n", stats.JainIndex(w.Net.ForwardLoads()))
-	var totalJ, maxJ float64
+	elapsed := float64(w.Sim.Now()) - warm
+	res.endTime = float64(w.Sim.Now())
+	res.meanDelay = delays.Mean()
+	res.p95Delay = delays.Percentile(95)
+	res.ctlPerNodeS = float64(st.ControlBytes) / float64(w.Net.Len()) / elapsed
+	res.dataBytes = st.DataBytes
+	res.jain = stats.JainIndex(w.Net.ForwardLoads())
 	for _, n := range w.Net.Nodes() {
 		j := radio.DefaultEnergy.Consumed(n.TxBytes, n.RxBytes)
-		totalJ += j
-		if j > maxJ {
-			maxJ = j
+		res.energyJ += j
+		if j > res.energyMaxJ {
+			res.energyMaxJ = j
 		}
 	}
-	fmt.Printf("  radio energy        %.3f J total, %.3f J at the busiest node\n", totalJ, maxJ)
-	fmt.Printf("  cluster stability   %d CH changes over %d elections\n", w.CM.Changes(), w.CM.Elections())
+	res.chChanges = w.CM.Changes()
+	res.elections = w.CM.Elections()
+	return res, nil
+}
+
+func printSingle(r trialResult) {
+	fmt.Printf("\nresults at t=%.1fs:\n", r.endTime)
+	if r.expected > 0 {
+		fmt.Printf("  delivery ratio      %.1f%% (%d of %d member deliveries)\n",
+			100*r.pdr(), r.delivered, r.expected)
+	}
+	fmt.Printf("  mean delay          %.2f ms (p95 %.2f ms)\n", r.meanDelay*1000, r.p95Delay*1000)
+	fmt.Printf("  control overhead    %.0f bytes/node/s\n", r.ctlPerNodeS)
+	fmt.Printf("  data traffic        %d bytes total\n", r.dataBytes)
+	fmt.Printf("  forwarding fairness %.3f (Jain index)\n", r.jain)
+	fmt.Printf("  radio energy        %.3f J total, %.3f J at the busiest node\n", r.energyJ, r.energyMaxJ)
+	fmt.Printf("  cluster stability   %d CH changes over %d elections\n", r.chChanges, r.elections)
+}
+
+func printAggregate(seed uint64, results []trialResult) {
+	fmt.Printf("%s | %s\n", results[0].desc, results[0].grid)
+	fmt.Printf("%d trials, seeds derived from base %d\n\n", len(results), seed)
+
+	metric := func(name, unit string, get func(trialResult) float64) {
+		xs := make([]float64, len(results))
+		for i, r := range results {
+			xs[i] = get(r)
+		}
+		mean, half := stats.MeanCI(xs)
+		if unit != "" {
+			unit = " " + unit
+		}
+		fmt.Printf("  %-19s %.3f ± %.3f%s\n", name, mean, half, unit)
+	}
+	anyExpected := false
+	for _, r := range results {
+		if r.expected > 0 {
+			anyExpected = true
+			break
+		}
+	}
+	if anyExpected {
+		metric("delivery ratio", "%", func(r trialResult) float64 { return 100 * r.pdr() })
+	}
+	metric("mean delay", "ms", func(r trialResult) float64 { return r.meanDelay * 1000 })
+	metric("p95 delay", "ms", func(r trialResult) float64 { return r.p95Delay * 1000 })
+	metric("control overhead", "B/node/s", func(r trialResult) float64 { return r.ctlPerNodeS })
+	metric("forwarding fairness", "(Jain)", func(r trialResult) float64 { return r.jain })
+	metric("radio energy", "J", func(r trialResult) float64 { return r.energyJ })
+	metric("CH changes", "", func(r trialResult) float64 { return float64(r.chChanges) })
+	fmt.Printf("\n(± is the 95%% confidence half-width over %d trials)\n", len(results))
 }

@@ -119,7 +119,9 @@ func ExperimentIDs() []string { return experiment.IDs() }
 // ExperimentTitle describes one experiment.
 func ExperimentTitle(id string) string { return experiment.Title(id) }
 
-// ExperimentOptions sizes an experiment run.
+// ExperimentOptions sizes an experiment run. Its Workers field fans the
+// experiment's independent runs across a worker pool (internal/runner);
+// tables are byte-identical at every worker count for a given seed.
 type ExperimentOptions = experiment.Options
 
 // FullOptions runs experiments at the size recorded in EXPERIMENTS.md.

@@ -3,6 +3,7 @@ package experiment
 import (
 	"repro/internal/des"
 	"repro/internal/network"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 )
@@ -23,7 +24,8 @@ func ClaimChurn(o Options) []*Table {
 			"mean delay (ms)"},
 	}
 	packets := scaleInt(30, o.Scale, 10)
-	for _, churnPeriod := range []float64{0, 8, 4, 2} {
+	// One independent world per churn rate.
+	rows := parSweep(o, []float64{0, 8, 4, 2}, func(_ runner.Run, churnPeriod float64) []string {
 		spec := scenario.DefaultSpec()
 		spec.Seed = o.Seed
 		spec.Nodes = scaleInt(160, o.Scale, 64)
@@ -108,8 +110,9 @@ func ClaimChurn(o Options) []*Table {
 		if expected > 0 {
 			pdr = float64(delivered) / float64(expected)
 		}
-		t.AddRow(F(churnRate), Pct(pdr), I(stale), F(delays.Mean()*1000))
-	}
+		return []string{F(churnRate), Pct(pdr), I(stale), F(delays.Mean() * 1000)}
+	})
+	addRows(t, rows)
 	t.Note("membership refresh cadence: local 1 s, MNT 2 s, HT 8 s; churned joins propagate within ~1 MNT period in-cube")
 	t.Note("stale deliveries = packets reaching nodes that had left (bounded by the refresh cadence)")
 	return []*Table{t}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/logicalid"
 	"repro/internal/membership"
 	"repro/internal/network"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/xrand"
@@ -27,48 +28,60 @@ func ClaimAvailability(o Options) []*Table {
 		Title:   "availability: surviving disjoint paths and connectivity under CH failures",
 		Columns: []string{"dim", "fail frac", "avail. disjoint paths (mean)", "pair connectivity", "diameter"},
 	}
-	rng := xrand.New(o.Seed)
 	dims := scaleInts([]int{3, 4, 5, 6}, o.Scale, []int{3, 4})
 	fracs := []float64{0, 0.1, 0.2, 0.3}
 	trials := scaleInt(200, o.Scale, 40)
+
+	// One sweep point per (dim, frac) cell; each cell's trials draw from
+	// the cell's positionally derived stream.
+	type cell struct {
+		dim  int
+		frac float64
+	}
+	var cells []cell
 	for _, dim := range dims {
 		for _, frac := range fracs {
-			var paths stats.Accumulator
-			connected, totalPairs := 0, 0
-			var worstDiam int
-			for trial := 0; trial < trials; trial++ {
-				c := hypercube.Complete(dim)
-				kills := int(frac * float64(c.Size()))
-				for i := 0; i < kills; i++ {
-					c.Remove(hypercube.Label(rng.Intn(c.Size())))
-				}
-				labels := c.Labels()
-				if len(labels) < 2 {
-					continue
-				}
-				for k := 0; k < 4; k++ {
-					a := labels[rng.Intn(len(labels))]
-					b := labels[rng.Intn(len(labels))]
-					if a == b {
-						continue
-					}
-					totalPairs++
-					paths.Add(float64(c.AvailablePaths(a, b)))
-					if c.Distance(a, b) >= 0 {
-						connected++
-					}
-				}
-				if d := c.Diameter(); d > worstDiam {
-					worstDiam = d
-				}
-			}
-			conn := 0.0
-			if totalPairs > 0 {
-				conn = float64(connected) / float64(totalPairs)
-			}
-			t.AddRow(I(dim), F(frac), F(paths.Mean()), Pct(conn), I(worstDiam))
+			cells = append(cells, cell{dim, frac})
 		}
 	}
+	rows := parSweep(o, cells, func(r runner.Run, c cell) []string {
+		rng := xrand.New(r.Seed)
+		var paths stats.Accumulator
+		connected, totalPairs := 0, 0
+		var worstDiam int
+		for trial := 0; trial < trials; trial++ {
+			cube := hypercube.Complete(c.dim)
+			kills := int(c.frac * float64(cube.Size()))
+			for i := 0; i < kills; i++ {
+				cube.Remove(hypercube.Label(rng.Intn(cube.Size())))
+			}
+			labels := cube.Labels()
+			if len(labels) < 2 {
+				continue
+			}
+			for k := 0; k < 4; k++ {
+				a := labels[rng.Intn(len(labels))]
+				b := labels[rng.Intn(len(labels))]
+				if a == b {
+					continue
+				}
+				totalPairs++
+				paths.Add(float64(cube.AvailablePaths(a, b)))
+				if cube.Distance(a, b) >= 0 {
+					connected++
+				}
+			}
+			if d := cube.Diameter(); d > worstDiam {
+				worstDiam = d
+			}
+		}
+		conn := 0.0
+		if totalPairs > 0 {
+			conn = float64(connected) / float64(totalPairs)
+		}
+		return []string{I(c.dim), F(c.frac), F(paths.Mean()), Pct(conn), I(worstDiam)}
+	})
+	addRows(t, rows)
 	t.Note("paper: an n-cube offers n disjoint paths and sustains n-1 failures; diameter is n when complete")
 	return []*Table{t, repairLatency(o)}
 }
@@ -84,9 +97,16 @@ func repairLatency(o Options) *Table {
 		Columns: []string{"trial", "alternate at failure", "repair latency (s)", "beacon period (s)"},
 	}
 	trials := scaleInt(8, o.Scale, 3)
-	immediate := 0
-	var lat stats.Sample
-	for trial := 0; trial < trials; trial++ {
+	// Each trial is a self-contained world; fan them out and fold the
+	// per-trial outcomes back in trial order.
+	type outcome struct {
+		row     []string
+		hasAlt  bool
+		latency float64 // repair latency; < 0 means the route never repaired
+		skipped bool    // trial produced no usable src/dst pair: no row at all
+	}
+	outcomes := parMap(o, trials, func(r runner.Run) outcome {
+		trial := r.Index
 		spec := scenario.DefaultSpec()
 		spec.Seed = o.Seed + uint64(trial)
 		spec.Nodes = 0
@@ -101,20 +121,20 @@ func repairLatency(o Options) *Table {
 		rng := xrand.New(spec.Seed)
 		src := logicalid.CHID(rng.Intn(w2.Grid.Count()))
 		// Destination two logical hops away, routed via a next hop we
-		// then kill.
+		// then kill. Smallest qualifying ID: map iteration order would
+		// make the trial outcome irreproducible.
 		var dst logicalid.CHID = -1
 		for d, dd := range w2.BB.LogicalReach(src, 2) {
-			if dd == 2 {
+			if dd == 2 && (dst < 0 || d < dst) {
 				dst = d
-				break
 			}
 		}
 		if dst < 0 {
-			continue
+			return outcome{skipped: true}
 		}
 		routes := w2.BB.Routes(src, dst)
 		if len(routes) == 0 {
-			continue
+			return outcome{skipped: true}
 		}
 		victim := routes[0].NextHop
 		w2.Net.Node(w2.BB.CHNodeOf(victim)).Fail()
@@ -126,9 +146,6 @@ func repairLatency(o Options) *Table {
 				hasAlt = true
 				break
 			}
-		}
-		if hasAlt {
-			immediate++
 		}
 		// Measure beacon rounds until a live-next-hop route (re)appears.
 		failAt := w2.Sim.Now()
@@ -145,11 +162,32 @@ func repairLatency(o Options) *Table {
 		}
 		if repaired >= 0 {
 			l := float64(repaired - failAt)
-			lat.Add(l)
-			t.AddRow(I(trial), boolStr(hasAlt), F(l), F(float64(cfg.BeaconPeriod)))
-		} else {
-			t.AddRow(I(trial), boolStr(hasAlt), "unrepaired", F(float64(cfg.BeaconPeriod)))
+			return outcome{
+				row:     []string{I(trial), boolStr(hasAlt), F(l), F(float64(cfg.BeaconPeriod))},
+				hasAlt:  hasAlt,
+				latency: l,
+			}
 		}
+		return outcome{
+			row:     []string{I(trial), boolStr(hasAlt), "unrepaired", F(float64(cfg.BeaconPeriod))},
+			hasAlt:  hasAlt,
+			latency: -1,
+		}
+	})
+
+	immediate := 0
+	var lat stats.Sample
+	for _, oc := range outcomes {
+		if oc.skipped {
+			continue
+		}
+		if oc.hasAlt {
+			immediate++
+		}
+		if oc.latency >= 0 {
+			lat.Add(oc.latency)
+		}
+		t.AddRow(oc.row...)
 	}
 	t.Note("alternate-at-failure %d/%d trials (the paper's 'available immediately'); mean repair %.2g s",
 		immediate, trials, lat.Mean())
@@ -187,50 +225,50 @@ func ClaimLoadBalance(o Options) []*Table {
 		return must(scenario.Build(spec))
 	}
 
-	// HVDB.
-	{
-		w := build()
-		w.Start()
+	// The two protocol arms run on identically specced (but separately
+	// built) worlds, so they fan out as independent runs. One shared
+	// drive keeps the traffic pattern identical between arms.
+	drive := func(w *scenario.World, wire func(*runMetrics), send func(src network.NodeID) uint64, stop func()) *runMetrics {
 		w.WarmUp(12)
 		m := newRunMetrics(w.Sim)
-		w.MC.OnDeliver(m.observe)
+		wire(m)
 		for s := 0; s < sources; s++ {
 			src := w.RandomSource()
 			for p := 0; p < packets; p++ {
-				uid := w.MC.Send(src, 0, 512)
+				uid := send(src)
 				m.expect(uid, len(w.Members[0]))
 				w.Sim.RunUntil(w.Sim.Now() + 0.3)
 			}
 		}
 		w.Sim.RunUntil(w.Sim.Now() + 5)
-		w.Stop()
-		addLoadRow(t, "hvdb", w, m)
+		stop()
+		return m
 	}
-	// CBT.
-	{
+	rows := parSweep(o, []string{"hvdb", "cbt"}, func(_ runner.Run, proto string) []string {
 		w := build()
-		p := must(w.Baseline("cbt"))
-		p.Start()
-		w.WarmUp(12)
-		m := newRunMetrics(w.Sim)
-		p.OnDeliver(m.observe)
-		for s := 0; s < sources; s++ {
-			src := w.RandomSource()
-			for k := 0; k < packets; k++ {
-				uid := p.Send(src, 0, 512)
-				m.expect(uid, len(w.Members[0]))
-				w.Sim.RunUntil(w.Sim.Now() + 0.3)
-			}
+		var m *runMetrics
+		if proto == "hvdb" {
+			w.Start()
+			m = drive(w,
+				func(m *runMetrics) { w.MC.OnDeliver(m.observe) },
+				func(src network.NodeID) uint64 { return w.MC.Send(src, 0, 512) },
+				w.Stop)
+		} else {
+			p := must(w.Baseline(proto))
+			p.Start()
+			m = drive(w,
+				func(m *runMetrics) { p.OnDeliver(m.observe) },
+				func(src network.NodeID) uint64 { return p.Send(src, 0, 512) },
+				p.Stop)
 		}
-		w.Sim.RunUntil(w.Sim.Now() + 5)
-		p.Stop()
-		addLoadRow(t, "cbt", w, m)
-	}
+		return loadRow(proto, w, m)
+	})
+	addRows(t, rows)
 	t.Note("jain index near 1 = even load; the rendezvous core concentrates traffic by design")
 	return []*Table{t}
 }
 
-func addLoadRow(t *Table, name string, w *scenario.World, m *runMetrics) {
+func loadRow(name string, w *scenario.World, m *runMetrics) []string {
 	loads := w.Net.ForwardLoads()
 	var acc stats.Accumulator
 	for _, l := range loads {
@@ -240,7 +278,7 @@ func addLoadRow(t *Table, name string, w *scenario.World, m *runMetrics) {
 	if acc.Mean() > 0 {
 		maxMean = acc.Max() / acc.Mean()
 	}
-	t.AddRow(name, F(stats.JainIndex(loads)), F(maxMean), F(acc.Max()), Pct(m.pdr()))
+	return []string{name, F(stats.JainIndex(loads)), F(maxMean), F(acc.Max()), Pct(m.pdr())}
 }
 
 // ClaimScalability quantifies the paper's central scalability argument:
@@ -255,33 +293,47 @@ func ClaimScalability(o Options) []*Table {
 	}
 	horizon := scaleDur(16, o.Scale, 8)
 	sizes := scaleInts([]int{4, 8, 12}, o.Scale, []int{4, 8}) // grid side g -> g*g VCs
+	protos := []string{"hvdb", "dsm", "pbm", "spbm"}
+	nodesFor := func(g int) int { return g * g * 2 }
+
+	// Flatten the size x protocol grid into one batch of independent
+	// runs (each builds its own world), then reassemble rows per size.
+	type arm struct {
+		g     int
+		proto string
+	}
+	var arms []arm
 	for _, g := range sizes {
+		for _, proto := range protos {
+			arms = append(arms, arm{g, proto})
+		}
+	}
+	cells := parSweep(o, arms, func(_ runner.Run, a arm) string {
 		spec := scenario.DefaultSpec()
 		spec.Seed = o.Seed
-		spec.ArenaSize = float64(g) * 250
+		spec.ArenaSize = float64(a.g) * 250
 		spec.Dim = 4
-		spec.Nodes = g * g * 2
+		spec.Nodes = nodesFor(a.g)
 		spec.Groups = 2
 		spec.MembersPerGroup = 8
 		spec.Mobility = scenario.Static
 
-		row := []string{I(g * g), I(g*g + spec.Nodes)}
-		// HVDB: full stack.
-		{
-			w := must(scenario.Build(spec))
+		w := must(scenario.Build(spec))
+		if a.proto == "hvdb" {
 			w.Start()
 			w.Sim.RunUntil(horizon)
 			w.Stop()
-			row = append(row, F(controlPerNodeSecond(w, horizon)))
-		}
-		for _, name := range []string{"dsm", "pbm", "spbm"} {
-			w := must(scenario.Build(spec))
-			p := must(w.Baseline(name))
+		} else {
+			p := must(w.Baseline(a.proto))
 			p.Start()
 			w.Sim.RunUntil(horizon)
 			p.Stop()
-			row = append(row, F(controlPerNodeSecond(w, horizon)))
 		}
+		return F(controlPerNodeSecond(w, horizon))
+	})
+	for gi, g := range sizes {
+		row := []string{I(g * g), I(g*g + nodesFor(g))}
+		row = append(row, cells[gi*len(protos):(gi+1)*len(protos)]...)
 		t.AddRow(row...)
 	}
 	t.Note("paper: summaries reach only a portion of nodes, so per-node cost should grow slowest for hvdb")
@@ -298,9 +350,9 @@ func ClaimDiameter(o Options) []*Table {
 		Columns: []string{"dim", "cube diameter", "mean logical hops", "p95 logical hops", "mean physical hops/logical hop"},
 	}
 	t.ID = "C4"
-	rng := xrand.New(o.Seed)
 	dims := scaleInts([]int{2, 4, 6}, o.Scale, []int{2, 4})
-	for _, dim := range dims {
+	rows := parSweep(o, dims, func(r runner.Run, dim int) []string {
+		rng := xrand.New(r.Seed)
 		blockW := 1 << uint((dim+1)/2)
 		blockH := 1 << uint(dim/2)
 		spec := scenario.DefaultSpec()
@@ -335,8 +387,9 @@ func ClaimDiameter(o Options) []*Table {
 				}
 			}
 		}
-		t.AddRow(I(dim), I(cube.Diameter()), F(hops.Mean()), F(hops.Percentile(95)), F(physPerLogical.Mean()))
-	}
+		return []string{I(dim), I(cube.Diameter()), F(hops.Mean()), F(hops.Percentile(95)), F(physPerLogical.Mean())}
+	})
+	addRows(t, rows)
 	t.Note("complete n-cube diameter is n (paper §2.1 property 2); jump links trade physical length for logical hop count")
 	return []*Table{t}
 }
@@ -371,45 +424,71 @@ func ClaimComparison(o Options) []*Table {
 		Columns: append([]string{"protocol"}, intHeaders(speeds)...)}
 
 	packets := scaleInt(15, o.Scale, 5)
+
+	// The proto x speed grid is the suite's biggest batch of mutually
+	// independent runs; flatten it, fan out, and reassemble per-proto
+	// rows from the positional results.
+	type arm struct {
+		proto string
+		speed int
+	}
+	var arms []arm
 	for _, proto := range protos {
+		for _, speed := range speeds {
+			arms = append(arms, arm{proto, speed})
+		}
+	}
+	type cell struct {
+		pdr, delay, ctl, jain string
+	}
+	cells := parSweep(o, arms, func(_ runner.Run, a arm) cell {
+		spec := scenario.DefaultSpec()
+		spec.Seed = o.Seed
+		spec.Nodes = scaleInt(160, o.Scale, 64)
+		spec.Groups = 1
+		spec.MembersPerGroup = scaleInt(15, o.Scale, 8)
+		if a.speed == 0 {
+			spec.Mobility = scenario.Static
+		} else {
+			spec.Mobility = scenario.Waypoint
+			spec.MinSpeed = 1
+			spec.MaxSpeed = float64(a.speed)
+			spec.Pause = 2
+		}
+		w := must(scenario.Build(spec))
+		var m *runMetrics
+		warm := scaleDur(12, o.Scale, 10)
+		if a.proto == "hvdb" {
+			w.Start()
+			w.WarmUp(warm)
+			m = hvdbTraffic(w, 0, packets, 512, 0.5)
+			w.Stop()
+		} else {
+			p := must(w.Baseline(a.proto))
+			p.Start()
+			w.WarmUp(warm)
+			m = baselineTraffic(w, p, membership.Group(0), packets, 512, 0.5)
+			p.Stop()
+		}
+		elapsed := w.Sim.Now() - warm
+		return cell{
+			pdr:   Pct(m.pdr()),
+			delay: F(m.delays.Mean() * 1000),
+			ctl:   F(controlPerNodeSecond(w, elapsed)),
+			jain:  F(stats.JainIndex(w.Net.ForwardLoads())),
+		}
+	})
+	for pi, proto := range protos {
 		pdrRow := []string{proto}
 		delayRow := []string{proto}
 		ctlRow := []string{proto}
 		jainRow := []string{proto}
-		for _, speed := range speeds {
-			spec := scenario.DefaultSpec()
-			spec.Seed = o.Seed
-			spec.Nodes = scaleInt(160, o.Scale, 64)
-			spec.Groups = 1
-			spec.MembersPerGroup = scaleInt(15, o.Scale, 8)
-			if speed == 0 {
-				spec.Mobility = scenario.Static
-			} else {
-				spec.Mobility = scenario.Waypoint
-				spec.MinSpeed = 1
-				spec.MaxSpeed = float64(speed)
-				spec.Pause = 2
-			}
-			w := must(scenario.Build(spec))
-			var m *runMetrics
-			warm := scaleDur(12, o.Scale, 10)
-			if proto == "hvdb" {
-				w.Start()
-				w.WarmUp(warm)
-				m = hvdbTraffic(w, 0, packets, 512, 0.5)
-				w.Stop()
-			} else {
-				p := must(w.Baseline(proto))
-				p.Start()
-				w.WarmUp(warm)
-				m = baselineTraffic(w, p, membership.Group(0), packets, 512, 0.5)
-				p.Stop()
-			}
-			elapsed := w.Sim.Now() - warm
-			pdrRow = append(pdrRow, Pct(m.pdr()))
-			delayRow = append(delayRow, F(m.delays.Mean()*1000))
-			ctlRow = append(ctlRow, F(controlPerNodeSecond(w, elapsed)))
-			jainRow = append(jainRow, F(stats.JainIndex(w.Net.ForwardLoads())))
+		for si := range speeds {
+			c := cells[pi*len(speeds)+si]
+			pdrRow = append(pdrRow, c.pdr)
+			delayRow = append(delayRow, c.delay)
+			ctlRow = append(ctlRow, c.ctl)
+			jainRow = append(jainRow, c.jain)
 		}
 		pdrT.AddRow(pdrRow...)
 		delayT.AddRow(delayRow...)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/network"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 )
 
@@ -15,6 +16,12 @@ import (
 type Options struct {
 	Seed  uint64
 	Scale float64
+	// Workers caps how many independent runs (trials, sweep points,
+	// protocol arms) execute concurrently; 0 means GOMAXPROCS. Tables
+	// are byte-identical at every worker count for a given seed: each
+	// run derives its PRNG stream positionally from the seed (see
+	// runner.DeriveSeed) and results are collected in run order.
+	Workers int
 }
 
 // DefaultOptions runs full-size experiments with the default seed.
@@ -80,6 +87,40 @@ func must[T any](v T, err error) T {
 		panic(err)
 	}
 	return v
+}
+
+// parMap fans n runs across the option's worker budget and returns
+// their results in run order. Run failures are panics (the package's
+// must convention), which the runner captures per run; re-panic the
+// first one here so the Runner signature stays error-free.
+func parMap[T any](o Options, n int, fn func(runner.Run) T) []T {
+	out, err := runner.Map(runner.Config{Workers: o.Workers}, o.Seed, n, func(r runner.Run) (T, error) {
+		return fn(r), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// addRows folds a batch of positionally collected rows into a table in
+// run order.
+func addRows(t *Table, rows [][]string) {
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+}
+
+// parSweep runs fn once per sweep point, in parallel, results in point
+// order.
+func parSweep[P, T any](o Options, points []P, fn func(runner.Run, P) T) []T {
+	out, err := runner.Sweep(runner.Config{Workers: o.Workers}, o.Seed, points, func(r runner.Run, p P) (T, error) {
+		return fn(r, p), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return out
 }
 
 // networkBind rebinds a fresh mux onto the world's nodes (used when an

@@ -9,6 +9,7 @@ import (
 	"repro/internal/hypercube"
 	"repro/internal/logicalid"
 	"repro/internal/membership"
+	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 	"repro/internal/vcgrid"
@@ -141,7 +142,9 @@ func Figure4(o Options) []*Table {
 		Columns: []string{"k", "reach (ground truth)", "destinations known", "coverage", "routes/dest", "ctrl bytes/CH/round"},
 	}
 	kMax := scaleInt(5, o.Scale, 3)
-	for k := 1; k <= kMax; k++ {
+	// One independent backbone world per horizon k.
+	rows := parMap(o, kMax, func(r runner.Run) []string {
+		k := r.Index + 1
 		spec := scenario.DefaultSpec()
 		spec.Seed = o.Seed
 		spec.Nodes = 0 // pure backbone: one anchor CH per VC
@@ -176,8 +179,9 @@ func Figure4(o Options) []*Table {
 		if reach.Mean() > 0 {
 			coverage = known.Mean() / reach.Mean()
 		}
-		t.AddRow(I(k), F(reach.Mean()), F(known.Mean()), Pct(coverage), F(routesPerDest.Mean()), F(ctrl))
-	}
+		return []string{I(k), F(reach.Mean()), F(known.Mean()), Pct(coverage), F(routesPerDest.Mean()), F(ctrl)}
+	})
+	addRows(t, rows)
 	t.Note("paper: multiple candidate logical routes per destination sustain QoS on failure")
 
 	// Verify the worked example of §4.1 at k=4.
@@ -274,13 +278,51 @@ func Figure5(o Options) []*Table {
 			"spbm nodes involved", "dsm B/node/s", "dsm nodes involved", "MT coverage"},
 	}
 	horizon := scaleDur(20, o.Scale, 10)
-	for _, groups := range scaleInts([]int{1, 4, 8}, o.Scale, []int{1, 2}) {
+	groupCounts := scaleInts([]int{1, 4, 8}, o.Scale, []int{1, 2})
+	planes := []string{"hvdb", "spbm", "dsm"}
+
+	// Each (group count, membership plane) pair is measured on its own
+	// world; flatten the grid into one batch of independent runs.
+	type arm struct {
+		groups int
+		plane  string
+	}
+	var arms []arm
+	for _, groups := range groupCounts {
+		for _, plane := range planes {
+			arms = append(arms, arm{groups, plane})
+		}
+	}
+	type planeCost struct {
+		bytes    float64
+		involved int
+		coverage float64 // hvdb plane only
+	}
+	costs := parSweep(o, arms, func(_ runner.Run, a arm) planeCost {
 		spec := scenario.DefaultSpec()
 		spec.Seed = o.Seed
 		spec.Nodes = scaleInt(200, o.Scale, 64)
-		spec.Groups = groups
+		spec.Groups = a.groups
 		spec.MembersPerGroup = 8
 		spec.Mobility = scenario.Static
+
+		if a.plane != "hvdb" {
+			w := must(scenario.Build(spec))
+			p := must(w.Baseline(a.plane))
+			w.Net.ResetTraffic()
+			p.Start()
+			w.Sim.RunUntil(horizon)
+			p.Stop()
+			kind := baselineSPBMUpdateKind
+			if a.plane == "dsm" {
+				kind = baselineDSMPositionKind
+			}
+			match := kindsOf(kind)
+			return planeCost{
+				bytes:    float64(w.Net.BytesMatching(match)) / float64(w.Net.Len()) / float64(horizon),
+				involved: w.Net.SendersMatching(match),
+			}
+		}
 
 		// HVDB membership plane.
 		w := must(scenario.Build(spec))
@@ -289,14 +331,12 @@ func Figure5(o Options) []*Table {
 		w.MS.Start()
 		w.Sim.RunUntil(horizon)
 		w.MS.Stop()
-		hvdbBytes := float64(w.Net.BytesMatching(membershipPlaneKinds)) / float64(w.Net.Len()) / float64(horizon)
-		hvdbInvolved := w.Net.SendersMatching(membershipPlaneKinds)
 		// MT coverage: fraction of (slot, group) pairs whose MT view
 		// names at least the true member-bearing hypercubes.
 		covered, total := 0, 0
 		truth := groundTruthCubes(w)
 		for slot := 0; slot < w.Grid.Count(); slot++ {
-			for g := 0; g < groups; g++ {
+			for g := 0; g < a.groups; g++ {
 				total++
 				view := w.MS.MTSummary(logicalid.CHID(slot), membership.Group(g))
 				ok := true
@@ -311,31 +351,18 @@ func Figure5(o Options) []*Table {
 				}
 			}
 		}
-
-		// SPBM membership plane on an identical world.
-		ws := must(scenario.Build(spec))
-		ps := must(ws.Baseline("spbm"))
-		ws.Net.ResetTraffic()
-		ps.Start()
-		ws.Sim.RunUntil(horizon)
-		ps.Stop()
-		spbmMatch := kindsOf(baselineSPBMUpdateKind)
-		spbmBytes := float64(ws.Net.BytesMatching(spbmMatch)) / float64(ws.Net.Len()) / float64(horizon)
-		spbmInvolved := ws.Net.SendersMatching(spbmMatch)
-
-		// DSM membership/position plane on an identical world.
-		wd := must(scenario.Build(spec))
-		pd := must(wd.Baseline("dsm"))
-		wd.Net.ResetTraffic()
-		pd.Start()
-		wd.Sim.RunUntil(horizon)
-		pd.Stop()
-		dsmMatch := kindsOf(baselineDSMPositionKind)
-		dsmBytes := float64(wd.Net.BytesMatching(dsmMatch)) / float64(wd.Net.Len()) / float64(horizon)
-		dsmInvolved := wd.Net.SendersMatching(dsmMatch)
-
-		t.AddRow(I(groups), F(hvdbBytes), I(hvdbInvolved), F(spbmBytes), I(spbmInvolved),
-			F(dsmBytes), I(dsmInvolved), Pct(float64(covered)/float64(total)))
+		return planeCost{
+			bytes:    float64(w.Net.BytesMatching(membershipPlaneKinds)) / float64(w.Net.Len()) / float64(horizon),
+			involved: w.Net.SendersMatching(membershipPlaneKinds),
+			coverage: float64(covered) / float64(total),
+		}
+	})
+	for gi, groups := range groupCounts {
+		hv := costs[gi*len(planes)]
+		sp := costs[gi*len(planes)+1]
+		ds := costs[gi*len(planes)+2]
+		t.AddRow(I(groups), F(hv.bytes), I(hv.involved), F(sp.bytes), I(sp.involved),
+			F(ds.bytes), I(ds.involved), Pct(hv.coverage))
 	}
 	t.Note("paper: summaries disseminate to only a portion of nodes; DSM/SPBM involve all nodes")
 	t.Note("hvdb involvement = members + CHs + geo relays; DSM/SPBM involve every node by design")
@@ -369,7 +396,7 @@ func Figure6(o Options) []*Table {
 		Columns: []string{"group size", "PDR", "mean delay (ms)", "p95 delay (ms)", "mean logical hops"},
 	}
 	packets := scaleInt(20, o.Scale, 5)
-	for _, size := range scaleInts([]int{5, 10, 20}, o.Scale, []int{5, 10}) {
+	rows := parSweep(o, scaleInts([]int{5, 10, 20}, o.Scale, []int{5, 10}), func(_ runner.Run, size int) []string {
 		spec := scenario.DefaultSpec()
 		spec.Seed = o.Seed
 		spec.Nodes = scaleInt(200, o.Scale, 64)
@@ -381,8 +408,9 @@ func Figure6(o Options) []*Table {
 		w.WarmUp(12)
 		m := hvdbTraffic(w, 0, packets, 512, 0.5)
 		w.Stop()
-		t.AddRow(I(size), Pct(m.pdr()), F(m.delays.Mean()*1000), F(m.delays.Percentile(95)*1000), F(m.hops.Mean()))
-	}
+		return []string{I(size), Pct(m.pdr()), F(m.delays.Mean() * 1000), F(m.delays.Percentile(95) * 1000), F(m.hops.Mean())}
+	})
+	addRows(t, rows)
 	t.Note("trees cached per the paper; intermediate CHs keep no per-session state")
 	return []*Table{t}
 }

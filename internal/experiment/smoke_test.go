@@ -1,42 +1,13 @@
 package experiment
 
 import (
-	"strings"
 	"testing"
 )
 
-// TestAllExperimentsRunQuick smoke-runs every registered experiment at
-// reduced scale: each must produce at least one table with rows and
-// render without panicking. The heavier sweeps are skipped with -short.
-func TestAllExperimentsRunQuick(t *testing.T) {
-	heavy := map[string]bool{"c3": true, "c5": true, "c6": true, "f5": true}
-	for _, id := range IDs() {
-		id := id
-		t.Run(id, func(t *testing.T) {
-			if testing.Short() && heavy[id] {
-				t.Skip("heavy sweep skipped with -short")
-			}
-			tables, err := Run(id, QuickOptions())
-			if err != nil {
-				t.Fatal(err)
-			}
-			if len(tables) == 0 {
-				t.Fatal("no tables")
-			}
-			for _, tb := range tables {
-				if len(tb.Columns) == 0 {
-					t.Fatalf("table %s has no columns", tb.ID)
-				}
-				if len(tb.Rows) == 0 {
-					t.Fatalf("table %s has no rows", tb.ID)
-				}
-				if !strings.Contains(tb.String(), tb.ID) {
-					t.Fatalf("table %s renders without its ID", tb.ID)
-				}
-			}
-		})
-	}
-}
+// The all-experiment smoke pass lives in TestAllExperimentsQuick
+// (determinism_test.go), which folds the structural checks into the
+// worker-count-invariance sweep so each experiment runs exactly once
+// per compared worker count.
 
 // TestRepairLatencyTable checks the C1b availability outcome: alternates
 // exist at failure time in most trials and repair completes within a

@@ -7,7 +7,9 @@
 // Protocols are written as packet handlers on nodes; the network
 // schedules deliveries on the shared discrete-event simulator. A single
 // Network is owned by a single simulation run and is not safe for
-// concurrent use; runs are parallelized at the harness level.
+// concurrent use; runs are parallelized at the harness level by
+// internal/runner, which gives every run its own Network, Simulator,
+// and PRNG stream (no state in this package is shared between runs).
 package network
 
 import (
