@@ -7,21 +7,33 @@
 //	hvdbbench -quick        # reduced sizes (smoke test)
 //	hvdbbench -parallel 8   # fan runs over 8 workers (same tables)
 //	hvdbbench -list         # list experiment IDs
+//	hvdbbench -json         # scale benchmark -> BENCH_scale.json
 //
 // Independent runs inside each experiment (trials, sweep points,
 // protocol arms) are fanned across -parallel workers; per-run seeds are
 // derived positionally from -seed, so the tables are byte-identical at
 // every -parallel setting.
+//
+// -json runs the scale sweep (N up to 10,000 nodes at full size)
+// serially, measuring wall-clock and allocations per population, and
+// writes the machine-readable baseline to BENCH_scale.json so future
+// changes have a perf trajectory to compare against.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiment"
 )
+
+// benchFile is where -json writes the scale baseline.
+const benchFile = "BENCH_scale.json"
 
 func main() {
 	log.SetFlags(0)
@@ -34,12 +46,13 @@ func main() {
 		parallel = flag.Int("parallel", 0, "max concurrent runs per experiment (0 = GOMAXPROCS); tables are identical at every setting")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut  = flag.Bool("json", false, "run the scale benchmark and write "+benchFile)
 	)
 	flag.Parse()
 
 	if *list {
 		for _, id := range experiment.IDs() {
-			fmt.Printf("%-4s %s\n", id, experiment.Title(id))
+			fmt.Printf("%-5s %s\n", id, experiment.Title(id))
 		}
 		return
 	}
@@ -50,6 +63,17 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Workers = *parallel
+
+	if *jsonOut {
+		if *exp != "" || *csv {
+			log.Fatal("-json runs only the scale benchmark; it cannot combine with -exp or -csv")
+		}
+		if *quick {
+			log.Printf("warning: -quick -json benchmarks the miniature worlds; do not commit the result as the full-size %s baseline", benchFile)
+		}
+		writeScaleBench(opts)
+		return
+	}
 
 	ids := experiment.IDs()
 	if *exp != "" {
@@ -70,4 +94,35 @@ func main() {
 			}
 		}
 	}
+}
+
+// scaleBenchDoc is the on-disk shape of BENCH_scale.json.
+type scaleBenchDoc struct {
+	Seed       uint64                  `json:"seed"`
+	Scale      float64                 `json:"scale"`
+	GoMaxProcs int                     `json:"go_max_procs"`
+	Points     []experiment.ScalePoint `json:"points"`
+}
+
+// writeScaleBench runs the scale benchmark and records the baseline.
+func writeScaleBench(opts experiment.Options) {
+	points := experiment.ScaleBench(opts)
+	doc := scaleBenchDoc{
+		Seed:       opts.Seed,
+		Scale:      opts.Scale,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Points:     points,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(benchFile, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range points {
+		fmt.Printf("N=%-6d total=%-6d events=%-10d %8.0f events/s  %5.2f allocs/event  pdr %.1f%%\n",
+			p.Nodes, p.TotalNodes, p.Events, p.EventsPerSec, p.AllocsPerEvent, 100*p.DeliveryRatio)
+	}
+	fmt.Printf("wrote %s\n", benchFile)
 }

@@ -5,6 +5,16 @@
 // backbone.
 //
 //	hvdbmap -nodes 200 -warmup 10 -fail 12 -cube 0
+//	hvdbmap -nodes 200 -trials 16 -parallel 4
+//
+// Flags follow the shared conventions of hvdbsim and hvdbbench: -seed
+// seeds the PRNG, and with -trials N the scenario is replicated N times
+// with positionally derived seeds (runner.DeriveSeed) fanned across
+// -parallel workers. The map views are always rendered for the base
+// seed; the trial replication aggregates backbone-health statistics
+// (VCs headed, complete hypercubes, mesh occupancy) as mean ± 95%
+// confidence half-width, so one invocation reports both one concrete
+// backbone and how typical it is.
 package main
 
 import (
@@ -14,7 +24,9 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/logicalid"
+	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/stats"
 	"repro/internal/viz"
 )
 
@@ -23,14 +35,16 @@ func main() {
 	log.SetPrefix("hvdbmap: ")
 
 	var (
-		seed  = flag.Uint64("seed", 1, "PRNG seed")
-		arena = flag.Float64("arena", 2000, "arena side in meters")
-		dim   = flag.Int("dim", 4, "hypercube dimension")
-		nodes = flag.Int("nodes", 200, "ordinary mobile nodes")
-		speed = flag.Float64("speed", 5, "max node speed m/s (0 = static)")
-		warm  = flag.Float64("warmup", 10, "warm-up simulated seconds")
-		fail  = flag.Int("fail", 0, "anchor CHs to fail after warm-up")
-		cube  = flag.Int("cube", 0, "hypercube to render in detail")
+		seed     = flag.Uint64("seed", 1, "PRNG seed")
+		arena    = flag.Float64("arena", 2000, "arena side in meters")
+		dim      = flag.Int("dim", 4, "hypercube dimension")
+		nodes    = flag.Int("nodes", 200, "ordinary mobile nodes")
+		speed    = flag.Float64("speed", 5, "max node speed m/s (0 = static)")
+		warm     = flag.Float64("warmup", 10, "warm-up simulated seconds")
+		fail     = flag.Int("fail", 0, "anchor CHs to fail after warm-up")
+		cube     = flag.Int("cube", 0, "hypercube to render in detail")
+		trials   = flag.Int("trials", 1, "independent trials (seeds derived per trial)")
+		parallel = flag.Int("parallel", 0, "max concurrent trials (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -45,35 +59,103 @@ func main() {
 		spec.Mobility = scenario.Waypoint
 		spec.MaxSpeed = *speed
 	}
+
+	renderMap(spec, *warm, *fail, *cube)
+
+	if *trials > 1 {
+		aggregate(spec, *warm, *fail, *trials, *parallel)
+	}
+}
+
+// renderMap draws the base-seed backbone before and after failures.
+func renderMap(spec scenario.Spec, warm float64, fail, cube int) {
 	w, err := scenario.Build(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
 	w.Start()
-	w.Sim.RunUntil(des.Time(*warm))
+	w.Sim.RunUntil(des.Time(warm))
 
 	fmt.Println(viz.Summary(w.BB, w.CM))
 	fmt.Println()
 	fmt.Println("VC grid (B=border CH, i=inner CH, .=no CH):")
 	fmt.Print(viz.GridView(w.BB))
 	fmt.Println()
-	fmt.Print(viz.CubeView(w.BB, logicalid.HID(*cube)))
+	fmt.Print(viz.CubeView(w.BB, logicalid.HID(cube)))
 	fmt.Println()
 	fmt.Println("mesh tier:")
 	fmt.Print(viz.MeshView(w.BB))
 
-	if *fail > 0 {
-		failed := w.FailRandomAnchors(*fail)
+	if fail > 0 {
+		failed := w.FailRandomAnchors(fail)
 		w.CM.Elect()
 		fmt.Printf("\n*** failed %d anchor CHs ***\n\n", len(failed))
 		fmt.Println(viz.Summary(w.BB, w.CM))
 		fmt.Println()
 		fmt.Print(viz.GridView(w.BB))
 		fmt.Println()
-		fmt.Print(viz.CubeView(w.BB, logicalid.HID(*cube)))
+		fmt.Print(viz.CubeView(w.BB, logicalid.HID(cube)))
 		fmt.Println()
 		fmt.Println("mesh tier:")
 		fmt.Print(viz.MeshView(w.BB))
 	}
 	w.Stop()
+}
+
+// health is the backbone condition of one trial.
+type health struct {
+	headed, completeCubes, meshNodes float64
+}
+
+// aggregate replicates the scenario across derived seeds and reports
+// backbone-health statistics.
+func aggregate(base scenario.Spec, warm float64, fail, trials, parallel int) {
+	results, err := runner.Map(runner.Config{Workers: parallel}, base.Seed, trials,
+		func(r runner.Run) (health, error) {
+			spec := base
+			spec.Seed = r.Seed
+			w, err := scenario.Build(spec)
+			if err != nil {
+				return health{}, err
+			}
+			w.Start()
+			w.Sim.RunUntil(des.Time(warm))
+			if fail > 0 {
+				w.FailRandomAnchors(fail)
+				w.CM.Elect()
+			}
+			var h health
+			h.headed = float64(len(w.CM.Heads()))
+			scheme := w.BB.Scheme()
+			for i := 0; i < scheme.NumHypercubes(); i++ {
+				c := w.BB.Cube(logicalid.HID(i))
+				if c.Count() == c.Size() {
+					h.completeCubes++
+				}
+			}
+			h.meshNodes = float64(w.BB.Mesh().Count())
+			w.Stop()
+			return h, nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%d trials, seeds derived from base %d", trials, base.Seed)
+	if fail > 0 {
+		fmt.Printf(" (after failing %d anchors each)", fail)
+	}
+	fmt.Println()
+	metric := func(name string, get func(health) float64) {
+		xs := make([]float64, len(results))
+		for i, h := range results {
+			xs[i] = get(h)
+		}
+		mean, half := stats.MeanCI(xs)
+		fmt.Printf("  %-20s %.2f ± %.2f\n", name, mean, half)
+	}
+	metric("VCs headed", func(h health) float64 { return h.headed })
+	metric("complete hypercubes", func(h health) float64 { return h.completeCubes })
+	metric("mesh nodes", func(h health) float64 { return h.meshNodes })
+	fmt.Printf("(± is the 95%% confidence half-width over %d trials)\n", trials)
 }

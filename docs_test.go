@@ -1,0 +1,77 @@
+package hvdb
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches markdown link targets: [text](target).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocsLinksResolve walks every markdown file in the repository and
+// verifies that intra-repo link targets exist, so DESIGN.md,
+// EXPERIMENTS.md, README.md and friends cannot drift into broken
+// cross-references. External (scheme-prefixed) and pure-anchor links
+// are out of scope.
+func TestDocsLinksResolve(t *testing.T) {
+	var checked int
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		body, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (%v)", path, m[1], err)
+			}
+			checked++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("no intra-repo markdown links found; the checker is likely broken")
+	}
+}
+
+// TestDocsPromisedFilesExist pins the documents that package comments
+// and the README point readers at.
+func TestDocsPromisedFilesExist(t *testing.T) {
+	for _, name := range []string{
+		"README.md", "DESIGN.md", "EXPERIMENTS.md", "PAPER.md", "ROADMAP.md",
+	} {
+		if _, err := os.Stat(name); err != nil {
+			t.Errorf("%s is referenced by the docs but missing: %v", name, err)
+		}
+	}
+}

@@ -23,14 +23,16 @@
 // DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
 // results.
 //
-// Architecture (bottom-up):
+// Architecture (bottom-up; DESIGN.md expands every entry):
 //
-//	internal/des        discrete-event kernel
+//	internal/des        discrete-event kernel (pooled event heap)
 //	internal/geom       plane geometry
 //	internal/xrand      deterministic PRNG
+//	internal/stats      samples, confidence intervals, Jain index
+//	internal/trace      category-tagged protocol event tracing
 //	internal/mobility   random waypoint / walk / Gauss-Markov / group
 //	internal/radio      unit-disc radio, delay and bandwidth model
-//	internal/network    nodes, packets, neighbor index, accounting
+//	internal/network    nodes, packets, incremental neighbor index
 //	internal/gps        positioning service (oracle + noisy)
 //	internal/vcgrid     virtual circles (paper §3, Fig. 2 geometry)
 //	internal/cluster    mobility-prediction clustering ([23]; paper §3)
@@ -41,9 +43,12 @@
 //	internal/core       the HVDB backbone + Figure 4 route maintenance
 //	internal/membership Figure 5 summary-based membership update
 //	internal/multicast  Figure 6 logical location-based multicast
+//	internal/qos        session admission over backbone routes
 //	internal/baseline   flooding, DSM-, PBM-, SPBM-, CBT-like schemes
 //	internal/scenario   world construction, traffic, failures
-//	internal/experiment figure/claim regeneration harness
+//	internal/runner     parallel run harness (positional seeding)
+//	internal/experiment figure/claim/scale regeneration harness
+//	internal/viz        ASCII backbone renderings (cmd/hvdbmap)
 package hvdb
 
 import (

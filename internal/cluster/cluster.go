@@ -22,6 +22,7 @@ package cluster
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/des"
 	"repro/internal/geom"
@@ -94,7 +95,19 @@ type Manager struct {
 
 	elections uint64
 	changes   uint64
+	version   uint64
 	ticker    *des.Ticker
+
+	// Election scratch, reused across rounds (indexed by VC index).
+	cand    []candidate
+	touched []int
+}
+
+// candidate is one CH-capable node's election entry within a VC.
+type candidate struct {
+	id    network.NodeID
+	score float64 // residence time
+	dist  float64 // to VCC
 }
 
 // NewManager returns a manager for the network over the grid. Call
@@ -147,27 +160,33 @@ func (m *Manager) Elect() {
 		m.vcByNode = append(m.vcByNode, make([]vcgrid.VC, n-len(m.vcByNode))...)
 		m.isCH = append(m.isCH, make([]bool, n-len(m.isCH))...)
 	}
+	if n := m.grid.Count(); n > len(m.cand) {
+		m.cand = make([]candidate, n)
+		for i := range m.cand {
+			m.cand[i].id = network.NoNode
+		}
+	}
 	// Beacon round: every live node transmits one cluster beacon. The
 	// broadcast is charged to the sender; reception needs no handler
-	// (the election below consumes the same fixes the beacons carry).
+	// (the election below consumes the same fixes the beacons carry), so
+	// the packet is pooled and recycled after its last delivery.
 	for _, n := range m.net.Nodes() {
 		if !n.Up() {
 			continue
 		}
-		m.net.Broadcast(n.ID, &network.Packet{
-			Kind: "cluster-beacon", Src: n.ID, Dst: network.NoNode,
-			Size: m.cfg.BeaconSize, Control: true,
-			UID: m.net.NextUID(),
-		})
+		pkt := m.net.AcquirePacket()
+		pkt.Kind = "cluster-beacon"
+		pkt.Src, pkt.Dst = n.ID, network.NoNode
+		pkt.Size, pkt.Control = m.cfg.BeaconSize, true
+		pkt.UID = m.net.NextUID()
+		m.net.Broadcast(n.ID, pkt)
+		m.net.ReleasePacket(pkt)
 	}
 
-	// Bucket nodes by home VC and elect per VC.
-	type candidate struct {
-		id    network.NodeID
-		score float64 // residence time
-		dist  float64 // to VCC
-	}
-	best := make(map[vcgrid.VC]candidate)
+	// Bucket nodes by home VC and elect per VC. Winners accumulate in
+	// the reused per-VC scratch; touched lists the VC indices to settle
+	// and reset, keeping the round allocation-free.
+	m.touched = m.touched[:0]
 	for _, n := range m.net.Nodes() {
 		if !n.Up() {
 			continue
@@ -183,34 +202,48 @@ func (m *Manager) Elect() {
 			score: ResidenceTime(fix, m.grid.Circle(vc)),
 			dist:  fix.Pos.Dist(m.grid.Center(vc)),
 		}
-		cur, ok := best[vc]
-		if !ok || better(c.score, c.dist, int(c.id), cur.score, cur.dist, int(cur.id)) {
-			best[vc] = c
+		idx := m.grid.Index(vc)
+		cur := &m.cand[idx]
+		if cur.id == network.NoNode {
+			m.touched = append(m.touched, idx)
+			*cur = c
+		} else if better(c.score, c.dist, int(c.id), cur.score, cur.dist, int(cur.id)) {
+			*cur = c
 		}
 	}
 
-	// Apply results, noting changes.
-	newCH := make(map[vcgrid.VC]network.NodeID, len(best))
-	for vc, c := range best {
-		newCH[vc] = c.id
-	}
+	// Apply results in VC-index order (deterministic change
+	// notifications), noting changes.
+	changesBefore := m.changes
+	sort.Ints(m.touched)
+	newCH := make(map[vcgrid.VC]network.NodeID, len(m.touched))
 	for i := range m.isCH {
 		m.isCH[i] = false
 	}
-	for vc, id := range newCH {
+	for _, idx := range m.touched {
+		vc := m.grid.FromIndex(idx)
+		id := m.cand[idx].id
+		m.cand[idx].id = network.NoNode // reset scratch for the next round
+		newCH[vc] = id
 		m.isCH[id] = true
 		if old := m.chOr(vc); old != id {
 			m.changes++
 			m.notify(vc, old, id)
 		}
 	}
-	for vc := range m.chByVC {
-		if _, still := newCH[vc]; !still {
-			m.changes++
-			m.notify(vc, m.chByVC[vc], network.NoNode)
+	for i := 0; i < m.grid.Count(); i++ {
+		vc := m.grid.FromIndex(i)
+		if old, had := m.chByVC[vc]; had {
+			if _, still := newCH[vc]; !still {
+				m.changes++
+				m.notify(vc, old, network.NoNode)
+			}
 		}
 	}
 	m.chByVC = newCH
+	if m.changes != changesBefore {
+		m.version++ // a new CH assignment took effect
+	}
 }
 
 func better(s1, d1 float64, id1 int, s2, d2 float64, id2 int) bool {
@@ -268,6 +301,12 @@ func (m *Manager) Heads() map[vcgrid.VC]network.NodeID { return m.chByVC }
 
 // Elections returns the number of election rounds run.
 func (m *Manager) Elections() uint64 { return m.elections }
+
+// Version is a monotonic counter that increments exactly when a new CH
+// assignment takes effect (at the end of Elect, after the map swap).
+// Layers that derive state from CH occupancy — the backbone's logical
+// neighbor cache — use it as their invalidation stamp.
+func (m *Manager) Version() uint64 { return m.version }
 
 // Changes returns the cumulative number of CH changes, the cluster
 // stability metric of [23].

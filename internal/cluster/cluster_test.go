@@ -252,3 +252,6 @@ func (l *linear) Advance(float64) {}
 func (l *linear) TrueFix(now float64) gps.Fix {
 	return gps.Fix{Pos: l.p0.Add(l.v.Scale(now)), Vel: l.v}
 }
+func (l *linear) DriftBound() (speed, jump float64) {
+	return math.Hypot(l.v.DX, l.v.DY), 0
+}

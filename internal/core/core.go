@@ -130,8 +130,21 @@ type Backbone struct {
 	tables map[logicalid.CHID]*routeTable
 	inner  *network.Mux // dispatch for logically-routed inner packets
 
+	// nbrCache memoizes LogicalNeighbors per slot; entries are valid
+	// while their stamp matches the cluster manager's Version (CH
+	// occupancy only changes when an election applies).
+	nbrCache []nbrCacheEntry
+
+	// beaconSlots is the reused, sorted slot list of one BeaconRound.
+	beaconSlots []logicalid.CHID
+
 	ticker  *des.Ticker
 	beacons uint64
+}
+
+type nbrCacheEntry struct {
+	stamp uint64 // cm.Version()+1; 0 = never filled
+	ids   []logicalid.CHID
 }
 
 // New assembles a backbone. The mux must already be bound to the
@@ -251,21 +264,35 @@ func (b *Backbone) Mesh() *meshtier.Mesh {
 // LogicalNeighbors returns the CH slots one logical hop from the given
 // slot under the current CH set: grid-adjacent VCs with CHs (including
 // across hypercube borders) plus same-block hypercube-label neighbors.
+// Results are sorted, memoized per cluster topology version, and shared
+// — callers must not modify the returned slice.
 func (b *Backbone) LogicalNeighbors(slot logicalid.CHID) []logicalid.CHID {
 	grid := b.scheme.Grid()
+	if b.nbrCache == nil {
+		b.nbrCache = make([]nbrCacheEntry, grid.Count())
+	}
+	e := &b.nbrCache[slot]
+	stamp := b.cm.Version() + 1
+	if e.stamp == stamp {
+		return e.ids
+	}
 	vc := grid.FromIndex(int(slot))
 	place := b.scheme.PlaceOf(vc)
-	seen := map[logicalid.CHID]bool{}
-	var out []logicalid.CHID
+	out := e.ids[:0]
 	add := func(w vcgrid.VC) {
 		if !grid.Valid(w) || b.cm.CHOf(w) == network.NoNode {
 			return
 		}
 		s := logicalid.CHID(grid.Index(w))
-		if s != slot && !seen[s] {
-			seen[s] = true
-			out = append(out, s)
+		if s == slot {
+			return
 		}
+		for _, have := range out {
+			if have == s {
+				return
+			}
+		}
+		out = append(out, s)
 	}
 	for _, w := range grid.Adjacent(vc) {
 		add(w)
@@ -274,6 +301,8 @@ func (b *Backbone) LogicalNeighbors(slot logicalid.CHID) []logicalid.CHID {
 		add(b.scheme.VCAt(place.HID, nb))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	e.stamp = stamp
+	e.ids = out
 	return out
 }
 
@@ -302,11 +331,18 @@ func (b *Backbone) table(slot logicalid.CHID) *routeTable {
 
 // BeaconRound performs one Figure 4 step 1 for every current CH: send
 // the local logical route information to all 1-logical-hop neighbor
-// CHs. Exported so experiments can drive rounds directly.
+// CHs. Slots beacon in ascending order (not map order), so the round's
+// event sequence is identical across reruns. Exported so experiments
+// can drive rounds directly.
 func (b *Backbone) BeaconRound() {
 	now := b.net.Sim().Now()
-	for vc, ch := range b.cm.Heads() {
-		slot := logicalid.CHID(b.scheme.Grid().Index(vc))
+	b.beaconSlots = b.beaconSlots[:0]
+	for vc := range b.cm.Heads() {
+		b.beaconSlots = append(b.beaconSlots, logicalid.CHID(b.scheme.Grid().Index(vc)))
+	}
+	sort.Slice(b.beaconSlots, func(i, j int) bool { return b.beaconSlots[i] < b.beaconSlots[j] })
+	for _, slot := range b.beaconSlots {
+		ch := b.CHNodeOf(slot)
 		entries := b.exportEntries(slot, now)
 		free := 0.0
 		if n := b.net.Node(ch); n != nil {
@@ -315,14 +351,16 @@ func (b *Backbone) BeaconRound() {
 		payload := &beaconPayload{FromSlot: slot, Sent: now, FreeBW: free, Entries: entries}
 		size := b.cfg.BeaconHeader + len(entries)*b.cfg.BeaconEntry
 		for _, nb := range b.LogicalNeighbors(slot) {
-			inner := &network.Packet{
-				Kind: BeaconKind, Src: ch, Dst: b.CHNodeOf(nb),
-				Size: size, Control: true, Born: now,
-				UID: b.net.NextUID(), Payload: payload,
-			}
+			inner := b.net.AcquirePacket()
+			inner.Kind = BeaconKind
+			inner.Src, inner.Dst = ch, b.CHNodeOf(nb)
+			inner.Size, inner.Control, inner.Born = size, true, now
+			inner.UID = b.net.NextUID()
+			inner.Payload = payload
 			if b.SendLogical(slot, nb, inner) {
 				b.beacons++
 			}
+			b.net.ReleasePacket(inner)
 		}
 	}
 }
@@ -396,27 +434,40 @@ func (b *Backbone) onBeacon(n *network.Node, _ network.NodeID, pkt *network.Pack
 
 // update inserts or refreshes a route, keeping at most maxRoutes routes
 // per destination with distinct next hops (preferring fewer hops, then
-// lower delay).
+// lower delay). The slice is tiny (maxRoutes is 3 by default), so the
+// sorted order is restored by a single insertion pass rather than a
+// sort.Slice call per beacon entry.
 func (t *routeTable) update(r Route, maxRoutes int) {
 	routes := t.routes[r.Dest]
 	for i := range routes {
 		if routes[i].NextHop == r.NextHop {
 			routes[i] = r
-			t.routes[r.Dest] = routes
+			t.routes[r.Dest] = sortRoutes(routes)
 			return
 		}
 	}
-	routes = append(routes, r)
-	sort.Slice(routes, func(i, j int) bool {
-		if routes[i].Hops != routes[j].Hops {
-			return routes[i].Hops < routes[j].Hops
-		}
-		return routes[i].Delay < routes[j].Delay
-	})
+	routes = sortRoutes(append(routes, r))
 	if len(routes) > maxRoutes {
 		routes = routes[:maxRoutes]
 	}
 	t.routes[r.Dest] = routes
+}
+
+// sortRoutes insertion-sorts by (hops, delay); stable for equal keys.
+func sortRoutes(routes []Route) []Route {
+	for i := 1; i < len(routes); i++ {
+		for j := i; j > 0 && routeLess(&routes[j], &routes[j-1]); j-- {
+			routes[j], routes[j-1] = routes[j-1], routes[j]
+		}
+	}
+	return routes
+}
+
+func routeLess(a, b *Route) bool {
+	if a.Hops != b.Hops {
+		return a.Hops < b.Hops
+	}
+	return a.Delay < b.Delay
 }
 
 // Routes returns the live routes from one slot to a destination slot,

@@ -1,17 +1,32 @@
 // Package des implements the discrete-event simulation kernel that every
-// experiment in this repository runs on. It provides a virtual clock, a
-// binary-heap future event list, periodic timers, and a labelled event
-// counter used by the experiment harness to account control overhead.
+// experiment in this repository runs on. It provides a virtual clock, an
+// indexed binary-heap future event list with a free-list of recycled
+// event records (so steady-state scheduling allocates nothing), periodic
+// timers, and cancellation handles.
 //
 // The kernel is deliberately single-threaded: MANET protocol simulations
 // are causality-chained (a reception schedules the next transmission), so
 // the standard structure is one goroutine per *run* and many runs in
 // parallel, which the experiment harness arranges. Keeping the kernel
 // lock-free makes a run deterministic for a given seed.
+//
+// # Hot-path design
+//
+// Three choices keep the kernel fast at 10k-node scale (see DESIGN.md):
+//
+//   - Event records are pooled. Executing (or popping a cancelled)
+//     event returns its record to a free list; Schedule reuses it.
+//     Handles carry a generation counter so a handle to a recycled
+//     record is inert.
+//   - The heap holds value entries (timestamp, sequence, record
+//     pointer) rather than pointers, so sift comparisons stay in cache.
+//     Cancellation tombstones the record; the queue reclaims it on pop.
+//   - ScheduleCall carries a (func(any), arg) pair instead of a closure,
+//     letting high-volume callers (the network layer schedules one event
+//     per packet hop) avoid a closure allocation per event.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -30,67 +45,61 @@ const Infinity Time = Time(math.MaxFloat64)
 // so scenario code can be written with time.Second-style literals.
 func FromReal(d time.Duration) Duration { return Duration(d.Seconds()) }
 
-// Event is a scheduled callback. Fn runs at time At; events at equal
-// times run in the order they were scheduled (FIFO tie-break), which
-// keeps runs reproducible.
+// event is one scheduled callback. Exactly one of fn or afn is set; afn
+// runs with arg (the ScheduleCall form). Records are pooled: gen
+// increments on every recycle so stale Handles cannot touch a reused
+// record. A cancelled event is tombstoned (dead) and its record
+// reclaimed when the queue pops it; keys live in the heap entries, so
+// cancellation needs no heap surgery.
 type event struct {
-	at   Time
-	seq  uint64
 	fn   func()
-	idx  int
+	afn  func(any)
+	arg  any
+	gen  uint32
 	dead bool
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ ev *event }
+// heapEntry is one future-event-list slot. The ordering keys (at, seq)
+// are stored by value so heap comparisons never chase the event
+// pointer — on 100k+-event queues this is the difference between
+// cache-resident and cache-missing sift loops. Events at equal times
+// run in the order they were scheduled (FIFO tie-break via seq), which
+// keeps runs reproducible.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	ev  *event
+}
 
-// Cancel prevents the event from running. Cancelling an already-executed
-// or already-cancelled event is a no-op. Cancel reports whether the event
-// was still pending.
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is valid and refers to no event.
+type Handle struct {
+	ev  *event
+	gen uint32
+}
+
+// Cancel prevents the event from running. Cancelling an
+// already-executed, already-cancelled, or zero handle is a no-op.
+// Cancel reports whether the event was still pending.
 func (h Handle) Cancel() bool {
-	if h.ev == nil || h.ev.dead {
+	ev := h.ev
+	if ev == nil || ev.gen != h.gen || ev.dead {
 		return false
 	}
-	h.ev.dead = true
+	ev.dead = true
 	return true
 }
 
 // Pending reports whether the event has neither run nor been cancelled.
-func (h Handle) Pending() bool { return h.ev != nil && !h.ev.dead && h.ev.idx >= 0 }
-
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.idx = -1
-	*q = old[:n-1]
-	return ev
+func (h Handle) Pending() bool {
+	return h.ev != nil && h.ev.gen == h.gen && !h.ev.dead
 }
 
 // Simulator owns the virtual clock and the future event list.
 type Simulator struct {
 	now      Time
-	queue    eventQueue
+	queue    []heapEntry
+	free     []*event
 	seq      uint64
 	executed uint64
 	stopped  bool
@@ -109,29 +118,133 @@ func (s *Simulator) Now() Time { return s.now }
 // tests and as a cheap progress measure.
 func (s *Simulator) Executed() uint64 { return s.executed }
 
-// Pending returns the number of events currently scheduled.
+// Pending returns the number of events currently scheduled, including
+// cancelled events the queue has not reclaimed yet.
 func (s *Simulator) Pending() int { return len(s.queue) }
 
 // SetHorizon caps the run: events scheduled after t never execute. A run
 // ends when the queue drains or the next event lies past the horizon.
 func (s *Simulator) SetHorizon(t Time) { s.horizon = t }
 
+// alloc takes an event record from the pool (or allocates one).
+func (s *Simulator) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a record to the pool, invalidating outstanding handles.
+func (s *Simulator) recycle(ev *event) {
+	ev.gen++
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
+	ev.dead = false
+	s.free = append(s.free, ev)
+}
+
 // Schedule runs fn at absolute time at. Scheduling in the past panics:
 // that is always a protocol bug, and failing loudly during development is
 // preferable to silent causality violations.
 func (s *Simulator) Schedule(at Time, fn func()) Handle {
-	if at < s.now {
-		panic(fmt.Sprintf("des: scheduling at %v before now %v", at, s.now))
-	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, ev)
-	return Handle{ev}
+	ev := s.push(at)
+	ev.fn = fn
+	return Handle{ev, ev.gen}
+}
+
+// ScheduleCall runs fn(arg) at absolute time at. It is Schedule for
+// hot paths: a caller that reuses one fn and threads per-event state
+// through arg schedules without allocating a closure.
+func (s *Simulator) ScheduleCall(at Time, fn func(any), arg any) Handle {
+	ev := s.push(at)
+	ev.afn = fn
+	ev.arg = arg
+	return Handle{ev, ev.gen}
 }
 
 // After runs fn after the given delay from the current time.
 func (s *Simulator) After(d Duration, fn func()) Handle {
 	return s.Schedule(s.now+d, fn)
+}
+
+// AfterCall runs fn(arg) after the given delay from the current time.
+func (s *Simulator) AfterCall(d Duration, fn func(any), arg any) Handle {
+	return s.ScheduleCall(s.now+d, fn, arg)
+}
+
+// push allocates a record for time at and sifts it into the heap.
+func (s *Simulator) push(at Time) *event {
+	if at < s.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", at, s.now))
+	}
+	ev := s.alloc()
+	s.queue = append(s.queue, heapEntry{at: at, seq: s.seq, ev: ev})
+	s.seq++
+	s.siftUp(len(s.queue) - 1)
+	return ev
+}
+
+// Heap maintenance. The queue is a 4-ary min-heap of value entries
+// ordered by (at, seq). The wider fan-out halves the tree depth of the
+// binary layout and the value entries keep sift loops in cache, which
+// together measurably cut the kernel overhead of 10k-node worlds.
+
+func (s *Simulator) less(i, j int) bool {
+	a, b := &s.queue[i], &s.queue[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Simulator) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !s.less(i, parent) {
+			return
+		}
+		s.queue[i], s.queue[parent] = s.queue[parent], s.queue[i]
+		i = parent
+	}
+}
+
+func (s *Simulator) siftDown(i int) {
+	n := len(s.queue)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		c := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for j := first + 1; j < last; j++ {
+			if s.less(j, c) {
+				c = j
+			}
+		}
+		if !s.less(c, i) {
+			return
+		}
+		s.queue[i], s.queue[c] = s.queue[c], s.queue[i]
+		i = c
+	}
+}
+
+// pop removes and returns the root entry's event with its timestamp.
+func (s *Simulator) pop() (Time, *event) {
+	root := s.queue[0]
+	last := len(s.queue) - 1
+	s.queue[0] = s.queue[last]
+	s.queue[last] = heapEntry{}
+	s.queue = s.queue[:last]
+	if last > 0 {
+		s.siftDown(0)
+	}
+	return root.at, root.ev
 }
 
 // Every runs fn at the given period, starting after an initial offset
@@ -142,15 +255,19 @@ func (s *Simulator) Every(offset, period Duration, fn func()) *Ticker {
 		panic("des: non-positive ticker period")
 	}
 	t := &Ticker{sim: s, period: period, fn: fn}
-	t.handle = s.After(offset, t.fire)
+	t.fireFn = t.fire // bound once; rescheduling reuses it allocation-free
+	t.handle = s.After(offset, t.fireFn)
 	return t
 }
 
-// Ticker is a periodic event created by Every.
+// Ticker is a periodic event created by Every. Each firing reuses the
+// ticker's bound callback and a pooled event record, so a long-lived
+// ticker costs no allocation per period.
 type Ticker struct {
 	sim     *Simulator
 	period  Duration
 	fn      func()
+	fireFn  func()
 	handle  Handle
 	stopped bool
 }
@@ -161,7 +278,7 @@ func (t *Ticker) fire() {
 	}
 	t.fn()
 	if !t.stopped { // fn may have stopped us
-		t.handle = t.sim.After(t.period, t.fire)
+		t.handle = t.sim.After(t.period, t.fireFn)
 	}
 }
 
@@ -177,30 +294,41 @@ func (t *Ticker) Stop() {
 // Stop halts the run after the current event returns.
 func (s *Simulator) Stop() { s.stopped = true }
 
+// execute pops the root event, recycles its record, and runs it. The
+// record is recycled before the callback runs so that events the callback
+// schedules can reuse it immediately.
+func (s *Simulator) execute() {
+	at, ev := s.pop()
+	s.now = at
+	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	s.recycle(ev)
+	s.executed++
+	if fn != nil {
+		fn()
+	} else {
+		afn(arg)
+	}
+}
+
+// dropDead discards cancelled events at the queue root, recycling their
+// records.
+func (s *Simulator) dropDead() {
+	for len(s.queue) > 0 && s.queue[0].ev.dead {
+		_, ev := s.pop()
+		s.recycle(ev)
+	}
+}
+
 // Step executes the single next event. It reports false when the queue is
 // empty, the simulator was stopped, or the next event is past the
 // horizon.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		if s.stopped {
-			return false
-		}
-		ev := s.queue[0]
-		if ev.dead {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if ev.at > s.horizon {
-			return false
-		}
-		heap.Pop(&s.queue)
-		s.now = ev.at
-		ev.dead = true
-		s.executed++
-		ev.fn()
-		return true
+	s.dropDead()
+	if len(s.queue) == 0 || s.stopped || s.queue[0].at > s.horizon {
+		return false
 	}
-	return false
+	s.execute()
+	return true
 }
 
 // Run executes events until the queue drains, Stop is called, or the
@@ -223,20 +351,15 @@ func (s *Simulator) RunUntil(t Time) {
 	if t < s.now {
 		panic(fmt.Sprintf("des: RunUntil(%v) before now %v", t, s.now))
 	}
-	for len(s.queue) > 0 && !s.stopped {
-		ev := s.queue[0]
-		if ev.dead {
-			heap.Pop(&s.queue)
-			continue
-		}
-		if ev.at > t || ev.at > s.horizon {
+	for !s.stopped {
+		s.dropDead()
+		if len(s.queue) == 0 {
 			break
 		}
-		heap.Pop(&s.queue)
-		s.now = ev.at
-		ev.dead = true
-		s.executed++
-		ev.fn()
+		if at := s.queue[0].at; at > t || at > s.horizon {
+			break
+		}
+		s.execute()
 	}
 	if t <= s.horizon && !s.stopped {
 		s.now = t

@@ -1,0 +1,177 @@
+package experiment
+
+// The Scale family measures how far the simulator itself scales: the
+// paper evaluates 200-600 node worlds, and the hot-path work in
+// internal/des and internal/network (pooled event heap, incremental
+// spatial index, interned accounting) exists precisely to open
+// 10,000-node scenarios. The "scale" experiment reports the
+// deterministic protocol-side metrics per population; ScaleBench wraps
+// the same worlds with wall-clock and allocation measurement for the
+// BENCH_scale.json baseline emitted by `hvdbbench -json`.
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/membership"
+	"repro/internal/runner"
+	"repro/internal/scenario"
+)
+
+// scaleConfig is one population of the scale sweep. Arena side grows
+// with the node count so spatial density stays near the paper's running
+// example (200 nodes on 2000 m); sides are multiples of one hypercube
+// block (4 VCs of 250 m) so the logical decomposition stays regular.
+type scaleConfig struct {
+	nodes int
+	arena float64
+}
+
+// scaleConfigs returns the sweep: the paper's population up to the 10k
+// target at full scale, two miniature worlds at quick scale.
+func scaleConfigs(o Options) []scaleConfig {
+	if o.Scale >= 1 {
+		return []scaleConfig{{200, 2000}, {1000, 4000}, {5000, 10000}, {10000, 14000}}
+	}
+	return []scaleConfig{{100, 1500}, {250, 2250}}
+}
+
+// scaleSpec builds the scenario of one sweep point: anchored CHs,
+// default waypoint mobility, one group of 20 members (10 in the
+// miniature worlds) drawn from the mobile population.
+func scaleSpec(seed uint64, c scaleConfig) scenario.Spec {
+	spec := scenario.DefaultSpec()
+	spec.Seed = seed
+	spec.Nodes = c.nodes
+	spec.ArenaSize = c.arena
+	spec.Groups = 1
+	spec.MembersPerGroup = 20
+	if c.nodes < 200 {
+		spec.MembersPerGroup = 10
+	}
+	return spec
+}
+
+// Scale timing: warm the protocol stack (the membership planes need
+// their MNT/HT rounds to converge before delivery is meaningful), then
+// a CBR phase, then drain.
+const (
+	scaleWarm    des.Duration = 15
+	scalePackets              = 10
+	scalePayload              = 512
+	scaleGap     des.Duration = 0.5
+)
+
+// scaleResult carries the deterministic outcomes of one scale world.
+type scaleResult struct {
+	total    int // nodes including anchors
+	clusters int
+	events   uint64
+	m        *runMetrics
+	ctrlPNS  float64 // control bytes/node/second over the whole run
+	simEnd   des.Time
+}
+
+// runScaleWorld drives one population end to end. Everything it returns
+// is a pure function of (seed, config), so the sweep parallelizes with
+// byte-identical tables at any worker count.
+func runScaleWorld(seed uint64, c scaleConfig) scaleResult {
+	w := must(scenario.Build(scaleSpec(seed, c)))
+	w.Start()
+	w.Sim.RunUntil(scaleWarm) // no traffic reset: ctrlPNS covers the whole run
+	m := hvdbTraffic(w, membership.Group(0), scalePackets, scalePayload, scaleGap)
+	w.Stop()
+	return scaleResult{
+		total:    w.Net.Len(),
+		clusters: len(w.CM.Heads()),
+		events:   w.Sim.Executed(),
+		m:        m,
+		ctrlPNS:  controlPerNodeSecond(w, w.Sim.Now()),
+		simEnd:   w.Sim.Now(),
+	}
+}
+
+// Scale regenerates the scale table: protocol behavior as the world
+// grows from the paper's population to 10,000 nodes.
+func Scale(o Options) []*Table {
+	configs := scaleConfigs(o)
+	rows := parSweep(o, configs, func(r runner.Run, c scaleConfig) []string {
+		res := runScaleWorld(r.Seed, c)
+		return []string{
+			I(c.nodes), I(res.total), I(int(c.arena)), I(res.clusters),
+			U(res.events), Pct(res.m.pdr()),
+			F(res.m.delays.Mean() * 1000), F(res.ctrlPNS),
+		}
+	})
+	t := &Table{
+		ID:    "scale",
+		Title: "simulator scale sweep: 10 CBR multicast packets per population",
+		Columns: []string{
+			"mobile", "total", "arena_m", "clusters",
+			"events", "pdr", "delay_ms", "ctrl_B/node/s",
+		},
+	}
+	addRows(t, rows)
+	t.Note("arena grows with population (constant density ~%d nodes/km^2); events = kernel events over %gs simulated", 50, float64(scaleWarm)+float64(scalePackets)*float64(scaleGap)+5)
+	t.Note("wall-clock and allocation figures for the same worlds come from `hvdbbench -json` (BENCH_scale.json)")
+	return []*Table{t}
+}
+
+// ScalePoint is one measured entry of the scale benchmark: the
+// deterministic world outcomes plus the host-side performance of
+// simulating it (these vary by machine and are therefore not part of
+// the experiment's table contract).
+type ScalePoint struct {
+	Nodes          int     `json:"nodes"`
+	TotalNodes     int     `json:"total_nodes"`
+	ArenaM         float64 `json:"arena_m"`
+	SimSeconds     float64 `json:"sim_seconds"`
+	Events         uint64  `json:"events"`
+	DeliveryRatio  float64 `json:"delivery_ratio"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+// ScaleBench runs the scale sweep serially (one world at a time, so
+// wall-clock and allocation deltas are attributable) and returns the
+// per-population performance baseline.
+func ScaleBench(o Options) []ScalePoint {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	var out []ScalePoint
+	for i, c := range scaleConfigs(o) {
+		seed := runner.DeriveSeed(o.Seed, i)
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		res := runScaleWorld(seed, c)
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&m1)
+		p := ScalePoint{
+			Nodes:         c.nodes,
+			TotalNodes:    res.total,
+			ArenaM:        c.arena,
+			SimSeconds:    float64(res.simEnd),
+			Events:        res.events,
+			DeliveryRatio: res.m.pdr(),
+			WallSeconds:   wall,
+		}
+		if wall > 0 {
+			p.EventsPerSec = float64(res.events) / wall
+		}
+		if res.events > 0 {
+			p.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(res.events)
+			p.BytesPerEvent = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(res.events)
+		}
+		out = append(out, p)
+	}
+	return out
+}

@@ -75,12 +75,31 @@ type DeliverFunc func(n *network.Node, inner *network.Packet)
 type Router struct {
 	net *network.Network
 	tr  trace.Tracer
+	// trOn gates the per-packet trace calls: formatting arguments box
+	// into interfaces even for the no-op tracer, which is measurable at
+	// millions of forwarding decisions.
+	trOn bool
 
 	consumers       map[string]DeliverFunc
 	fallbackDeliver DeliverFunc
 	// Delivered/Dropped count inner packets for experiments.
 	Delivered uint64
 	Dropped   uint64
+
+	// envKinds interns the "geo:"+inner.Kind envelope kinds so the
+	// per-hop envelope needs no string concatenation.
+	envKinds map[string]string
+	// nbrBuf/nbrPos and gabBuf/gabPos are reused neighbor scratch
+	// buffers (IDs and parallel exact positions); forwarding decisions
+	// are not re-entrant, so one set suffices per router.
+	nbrBuf []network.NodeID
+	nbrPos []geom.Point
+	gabBuf []network.NodeID
+	gabPos []geom.Point
+
+	// freeHdr pools Headers: one is live per geo-routed packet from Send
+	// to consume/drop, so steady-state forwarding allocates none.
+	freeHdr []*Header
 }
 
 // auxKey identifies the shared router on a mux.
@@ -93,7 +112,14 @@ func Attach(net *network.Network, mux *network.Mux) *Router {
 	if r, ok := mux.Aux(auxKey).(*Router); ok {
 		return r
 	}
-	r := &Router{net: net, tr: trace.Nop, consumers: make(map[string]DeliverFunc)}
+	r := &Router{
+		net:       net,
+		tr:        trace.Nop,
+		consumers: make(map[string]DeliverFunc),
+		envKinds:  make(map[string]string),
+		nbrPos:    make([]geom.Point, 0, 32),
+		gabPos:    make([]geom.Point, 0, 32),
+	}
 	mux.SetAux(auxKey, r)
 	mux.Handle(Kind, r.onPacket)
 	mux.HandleFallback(func(n *network.Node, from network.NodeID, pkt *network.Packet) {
@@ -118,37 +144,77 @@ func (r *Router) SetTracer(t trace.Tracer) {
 		t = trace.Nop
 	}
 	r.tr = t
+	r.trOn = t != trace.Nop
 }
 
 // Send geo-routes inner from the node `from` toward the target
 // position, to be consumed by final (or by the node nearest the target
 // if final is NoNode). It reports whether a first transmission was made
 // (or the packet was consumed locally).
+//
+// A pooled inner packet is kept alive by the per-hop envelopes that
+// carry it (AdoptPacket): whichever way a hop ends — delivered,
+// dropped, or lost in flight — recycling the envelope releases its
+// reference, so callers may release theirs as soon as Send returns.
 func (r *Router) Send(from network.NodeID, target geom.Point, final network.NodeID, inner *network.Packet) bool {
-	h := &Header{Target: target, FinalDst: final, TTL: DefaultTTL, PrevHop: network.NoNode, Inner: inner}
 	n := r.net.Node(from)
 	if n == nil || !n.Up() {
 		return false
 	}
+	h := r.acquireHeader()
+	h.Target, h.FinalDst = target, final
+	h.TTL = DefaultTTL
+	h.PrevHop = network.NoNode
+	h.Inner = inner
 	return r.forward(n, h)
 }
 
+// acquireHeader takes a zeroed Header from the pool.
+func (r *Router) acquireHeader() *Header {
+	if n := len(r.freeHdr); n > 0 {
+		h := r.freeHdr[n-1]
+		r.freeHdr = r.freeHdr[:n-1]
+		return h
+	}
+	return &Header{}
+}
+
+// releaseHeader recycles a Header whose packet reached its end of life
+// (consumed or dropped); headers on envelopes lost in flight are simply
+// garbage collected.
+func (r *Router) releaseHeader(h *Header) {
+	*h = Header{}
+	r.freeHdr = append(r.freeHdr, h)
+}
+
+// envKind returns the interned envelope kind for an inner kind.
+func (r *Router) envKind(inner string) string {
+	if inner == "" {
+		return Kind
+	}
+	k, ok := r.envKinds[inner]
+	if !ok {
+		k = KindPrefix + inner
+		r.envKinds[inner] = k
+	}
+	return k
+}
+
+// envelope wraps the header in a pooled per-hop packet; transmit
+// releases it once the network has taken its in-flight references.
 func (r *Router) envelope(h *Header) *network.Packet {
-	kind := Kind
-	if h.Inner.Kind != "" {
-		kind = KindPrefix + h.Inner.Kind
-	}
-	return &network.Packet{
-		Kind:    kind,
-		Src:     h.Inner.Src,
-		Dst:     h.FinalDst,
-		Group:   h.Inner.Group,
-		Size:    h.Inner.Size + HeaderSize,
-		Control: h.Inner.Control,
-		Born:    h.Inner.Born,
-		UID:     h.Inner.UID,
-		Payload: h,
-	}
+	p := r.net.AcquirePacket()
+	p.Kind = r.envKind(h.Inner.Kind)
+	p.Src = h.Inner.Src
+	p.Dst = h.FinalDst
+	p.Group = h.Inner.Group
+	p.Size = h.Inner.Size + HeaderSize
+	p.Control = h.Inner.Control
+	p.Born = h.Inner.Born
+	p.UID = h.Inner.UID
+	p.Payload = h
+	r.net.AdoptPacket(p, h.Inner) // inner lives as long as its envelope
+	return p
 }
 
 func (r *Router) onPacket(n *network.Node, from network.NodeID, pkt *network.Packet) {
@@ -213,7 +279,9 @@ func (r *Router) forward(n *network.Node, h *Header) bool {
 }
 
 func (r *Router) transmit(n *network.Node, to network.NodeID, h *Header) bool {
-	ok := r.net.Unicast(n.ID, to, r.envelope(h))
+	env := r.envelope(h)
+	ok := r.net.Unicast(n.ID, to, env)
+	r.net.ReleasePacket(env) // in-flight references keep it alive
 	if !ok {
 		r.drop(n, h, "tx failed")
 		return false
@@ -225,7 +293,9 @@ func (r *Router) transmit(n *network.Node, to network.NodeID, h *Header) bool {
 func (r *Router) consume(n *network.Node, h *Header) {
 	r.Delivered++
 	h.Inner.Hops += h.Hops
-	r.tr.Eventf(trace.Routes, float64(r.net.Sim().Now()), "geo delivered %s uid=%d at %d", h.Inner.Kind, h.Inner.UID, n.ID)
+	if r.trOn {
+		r.tr.Eventf(trace.Routes, float64(r.net.Sim().Now()), "geo delivered %s uid=%d at %d", h.Inner.Kind, h.Inner.UID, n.ID)
+	}
 	fn, ok := r.consumers[h.Inner.Kind]
 	if !ok {
 		fn = r.fallbackDeliver
@@ -233,23 +303,27 @@ func (r *Router) consume(n *network.Node, h *Header) {
 	if fn != nil {
 		fn(n, h.Inner)
 	}
+	r.releaseHeader(h)
 }
 
 func (r *Router) drop(n *network.Node, h *Header, why string) {
 	r.Dropped++
-	r.tr.Eventf(trace.Routes, float64(r.net.Sim().Now()), "geo drop %s uid=%d at %d: %s", h.Inner.Kind, h.Inner.UID, n.ID, why)
+	if r.trOn {
+		r.tr.Eventf(trace.Routes, float64(r.net.Sim().Now()), "geo drop %s uid=%d at %d: %s", h.Inner.Kind, h.Inner.UID, n.ID, why)
+	}
+	r.releaseHeader(h)
 }
 
 // bestGreedy returns the neighbor strictly closer to the target than n
 // itself, minimizing remaining distance; NoNode when none (local
-// maximum).
+// maximum). Distances compare squared — same winner, no square roots.
 func (r *Router) bestGreedy(n *network.Node, pos, target geom.Point) network.NodeID {
 	best := network.NoNode
-	bestD := pos.Dist(target)
-	for _, id := range r.net.Neighbors(n.ID) {
-		d := r.net.Node(id).TruePos().Dist(target)
-		if d < bestD {
-			best, bestD = id, d
+	bestD2 := pos.Dist2(target)
+	r.nbrBuf, r.nbrPos = r.net.NeighborsPos(n.ID, r.nbrBuf[:0], r.nbrPos[:0])
+	for i, id := range r.nbrBuf {
+		if d2 := r.nbrPos[i].Dist2(target); d2 < bestD2 {
+			best, bestD2 = id, d2
 		}
 	}
 	return best
@@ -277,7 +351,7 @@ func (r *Router) perimeterNext(n *network.Node, pos geom.Point, h *Header) netwo
 	// which lets the walk back out of a dead-end spur exactly once per
 	// node before the visited set exhausts and the packet drops.
 	for pass := 0; pass < 2 && best == network.NoNode; pass++ {
-		for _, id := range nbrs {
+		for i, id := range nbrs {
 			if id == h.PrevHop && len(nbrs) > 1 {
 				continue // only return to sender as a last resort
 			}
@@ -287,7 +361,7 @@ func (r *Router) perimeterNext(n *network.Node, pos geom.Point, h *Header) netwo
 			if pass == 1 && !h.Visited[id] {
 				continue // covered in pass 0
 			}
-			a := r.net.Node(id).TruePos().Sub(pos).Angle()
+			a := r.gabPos[i].Sub(pos).Angle()
 			delta := math.Mod(a-refAngle+4*math.Pi, 2*math.Pi)
 			if delta == 0 {
 				delta = 2 * math.Pi
@@ -310,27 +384,32 @@ func (r *Router) perimeterNext(n *network.Node, pos geom.Point, h *Header) netwo
 // edge (u, v) survives iff no common neighbor lies inside the disc with
 // diameter uv. The Gabriel graph is planar and connectivity-preserving,
 // the standard GPSR planarization.
+// gabrielNeighbors returns the surviving neighbor IDs with their
+// positions in r.gabPos (parallel), for the caller's angle computations.
 func (r *Router) gabrielNeighbors(n *network.Node) []network.NodeID {
 	pos := n.TruePos()
-	nbrs := r.net.Neighbors(n.ID)
-	out := make([]network.NodeID, 0, len(nbrs))
-	for _, v := range nbrs {
-		vp := r.net.Node(v).TruePos()
+	r.nbrBuf, r.nbrPos = r.net.NeighborsPos(n.ID, r.nbrBuf[:0], r.nbrPos[:0])
+	nbrs, poss := r.nbrBuf, r.nbrPos
+	out, outPos := r.gabBuf[:0], r.gabPos[:0]
+	for i, v := range nbrs {
+		vp := poss[i]
 		mid := geom.Pt((pos.X+vp.X)/2, (pos.Y+vp.Y)/2)
 		radius2 := pos.Dist2(vp) / 4
 		keep := true
-		for _, w := range nbrs {
+		for j, w := range nbrs {
 			if w == v {
 				continue
 			}
-			if r.net.Node(w).TruePos().Dist2(mid) < radius2 {
+			if poss[j].Dist2(mid) < radius2 {
 				keep = false
 				break
 			}
 		}
 		if keep {
 			out = append(out, v)
+			outPos = append(outPos, vp)
 		}
 	}
+	r.gabBuf, r.gabPos = out, outPos // keep capacity for the next decision
 	return out
 }

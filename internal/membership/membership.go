@@ -272,12 +272,14 @@ func (s *Service) LocalRound() {
 				s.absorbLocal(logicalid.CHID(grid.Index(vc)), msg)
 				continue
 			}
-			pkt := &network.Packet{
-				Kind: LocalKind, Src: n.ID, Dst: ch,
-				Size: s.cfg.Header + len(groups)*s.cfg.GroupEntry, Control: true,
-				Born: net.Sim().Now(), UID: net.NextUID(), Payload: msg,
-			}
+			pkt := net.AcquirePacket()
+			pkt.Kind = LocalKind
+			pkt.Src, pkt.Dst = n.ID, ch
+			pkt.Size, pkt.Control = s.cfg.Header+len(groups)*s.cfg.GroupEntry, true
+			pkt.Born, pkt.UID = net.Sim().Now(), net.NextUID()
+			pkt.Payload = msg
 			s.bb.Geo().Send(n.ID, grid.Center(vc), ch, pkt)
+			net.ReleasePacket(pkt)
 		}
 	}
 }
@@ -377,17 +379,20 @@ func (s *Service) MNTRound() {
 // receivers dedup — standard scoped flooding).
 func (s *Service) floodMNT(from logicalid.CHID, msg *summaryMsg, ch network.NodeID) {
 	scheme := s.bb.Scheme()
+	net := s.bb.Net()
 	size := s.cfg.Header + len(msg.Groups)*s.cfg.GroupEntry
 	for _, nb := range s.bb.LogicalNeighbors(from) {
 		if scheme.CHIDToPlace(nb).HID != msg.HID {
 			continue // MNT summaries stay within the hypercube
 		}
-		pkt := &network.Packet{
-			Kind: MNTKind, Src: ch, Dst: s.bb.CHNodeOf(nb),
-			Size: size, Control: true, Born: s.bb.Net().Sim().Now(),
-			UID: s.bb.Net().NextUID(), Payload: msg,
-		}
+		pkt := net.AcquirePacket()
+		pkt.Kind = MNTKind
+		pkt.Src, pkt.Dst = ch, s.bb.CHNodeOf(nb)
+		pkt.Size, pkt.Control = size, true
+		pkt.Born, pkt.UID = net.Sim().Now(), net.NextUID()
+		pkt.Payload = msg
 		s.bb.SendLogical(from, nb, pkt)
+		net.ReleasePacket(pkt)
 	}
 }
 
@@ -498,14 +503,17 @@ func (s *Service) HTRound() {
 
 // floodHT forwards an HT summary network-wide over logical links.
 func (s *Service) floodHT(from logicalid.CHID, msg *summaryMsg, ch network.NodeID) {
+	net := s.bb.Net()
 	size := s.cfg.Header + len(msg.Groups)*s.cfg.GroupEntry
 	for _, nb := range s.bb.LogicalNeighbors(from) {
-		pkt := &network.Packet{
-			Kind: HTKind, Src: ch, Dst: s.bb.CHNodeOf(nb),
-			Size: size, Control: true, Born: s.bb.Net().Sim().Now(),
-			UID: s.bb.Net().NextUID(), Payload: msg,
-		}
+		pkt := net.AcquirePacket()
+		pkt.Kind = HTKind
+		pkt.Src, pkt.Dst = ch, s.bb.CHNodeOf(nb)
+		pkt.Size, pkt.Control = size, true
+		pkt.Born, pkt.UID = net.Sim().Now(), net.NextUID()
+		pkt.Payload = msg
 		s.bb.SendLogical(from, nb, pkt)
+		net.ReleasePacket(pkt)
 	}
 }
 

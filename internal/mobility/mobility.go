@@ -25,6 +25,14 @@ type Model interface {
 	// Advance moves internal state to time now. Callers must advance with
 	// non-decreasing times.
 	Advance(now float64)
+	// DriftBound returns constants (speed, jump) bounding how far the
+	// node can move: for any t and dt >= 0, the displacement between
+	// TrueFix(t).Pos and TrueFix(t+dt).Pos is at most speed*dt + jump.
+	// jump covers instantaneous discontinuities (e.g. group-motion
+	// jitter); it is 0 for continuous movers. The network layer's
+	// incremental spatial index derives cell-refresh deadlines from this
+	// bound, so it must hold unconditionally.
+	DriftBound() (speed, jump float64)
 }
 
 // Static is a Model that never moves.
@@ -32,6 +40,9 @@ type Static struct{ P geom.Point }
 
 // Advance implements Model.
 func (s *Static) Advance(float64) {}
+
+// DriftBound implements Model: a static node never drifts.
+func (s *Static) DriftBound() (speed, jump float64) { return 0, 0 }
 
 // TrueFix implements gps.Source.
 func (s *Static) TrueFix(float64) gps.Fix { return gps.Fix{Pos: s.P} }
@@ -86,6 +97,13 @@ func (w *Waypoint) pickLeg(now float64) {
 	} else {
 		w.pauseEnd = now
 	}
+}
+
+// DriftBound implements Model: waypoint speed never exceeds the larger
+// of the configured bounds (or the 0.1 m/s anti-freeze floor).
+func (w *Waypoint) DriftBound() (speed, jump float64) {
+	s := math.Max(w.MaxSpeed, w.MinSpeed)
+	return math.Max(s, 0.1), 0
 }
 
 // Advance implements Model.
@@ -153,6 +171,9 @@ func (w *Walk) redirect() {
 	w.nextT = w.lastT + w.Epoch
 }
 
+// DriftBound implements Model.
+func (w *Walk) DriftBound() (speed, jump float64) { return w.Speed, 0 }
+
 // Advance implements Model.
 func (w *Walk) Advance(now float64) {
 	for now > w.lastT {
@@ -182,6 +203,12 @@ type GaussMarkov struct {
 	Epoch     float64
 	SigmaS    float64 // speed innovation std dev
 	SigmaD    float64 // direction innovation std dev (radians)
+	// SpeedCap hard-limits the speed process (the AR(1) recursion is
+	// clamped to [0, SpeedCap] at every epoch). The cap makes the
+	// model's drift bounded, which the network's incremental spatial
+	// index requires; NewGaussMarkov sets 3x the mean speed, far beyond
+	// the ~2.4-sigma stationary spread of the default parameters.
+	SpeedCap float64
 
 	rng   *xrand.Rand
 	pos   geom.Point
@@ -196,7 +223,7 @@ type GaussMarkov struct {
 func NewGaussMarkov(arena geom.Rect, meanSpeed, alpha, epoch float64, rng *xrand.Rand) *GaussMarkov {
 	g := &GaussMarkov{
 		Arena: arena, MeanSpeed: meanSpeed, Alpha: alpha, Epoch: epoch,
-		SigmaS: meanSpeed / 4, SigmaD: 0.4, rng: rng,
+		SigmaS: meanSpeed / 4, SigmaD: 0.4, SpeedCap: 3 * meanSpeed, rng: rng,
 	}
 	g.pos = uniformPoint(arena, rng)
 	g.speed = meanSpeed
@@ -204,6 +231,19 @@ func NewGaussMarkov(arena geom.Rect, meanSpeed, alpha, epoch float64, rng *xrand
 	g.nextT = epoch
 	return g
 }
+
+// speedCap returns the effective clamp: SpeedCap when set, else a
+// generous default of the mean speed plus six innovation sigmas.
+func (g *GaussMarkov) speedCap() float64 {
+	if g.SpeedCap > 0 {
+		return g.SpeedCap
+	}
+	return g.MeanSpeed + 6*g.SigmaS
+}
+
+// DriftBound implements Model: Advance clamps the speed process to
+// speedCap, so it is a hard bound on instantaneous speed.
+func (g *GaussMarkov) DriftBound() (speed, jump float64) { return g.speedCap(), 0 }
 
 // Advance implements Model.
 func (g *GaussMarkov) Advance(now float64) {
@@ -222,6 +262,9 @@ func (g *GaussMarkov) Advance(now float64) {
 				math.Sqrt(1-a*a)*g.SigmaS*g.rng.NormFloat64()
 			if g.speed < 0 {
 				g.speed = 0
+			}
+			if cap := g.speedCap(); g.speed > cap {
+				g.speed = cap // keep DriftBound a hard guarantee
 			}
 			g.dir = a*g.dir + (1-a)*g.dir + // mean direction = current
 				math.Sqrt(1-a*a)*g.SigmaD*g.rng.NormFloat64()
@@ -268,6 +311,15 @@ type groupMember struct {
 
 // Advance implements Model.
 func (m *groupMember) Advance(now float64) { m.group.center.Advance(now) }
+
+// DriftBound implements Model: a member drifts with the group center
+// plus the jitter discontinuity (the jitter vector is redrawn once per
+// simulated second, displacing the member by at most twice the jitter
+// radius in one instant).
+func (m *groupMember) DriftBound() (speed, jump float64) {
+	speed, _ = m.group.center.DriftBound()
+	return speed, 2 * m.jitter
+}
 
 // TrueFix implements gps.Source.
 func (m *groupMember) TrueFix(now float64) gps.Fix {
@@ -369,6 +421,9 @@ func (m *Manhattan) turn() {
 	}
 	m.dir = m.dir.Scale(-1) // dead end: U-turn
 }
+
+// DriftBound implements Model.
+func (m *Manhattan) DriftBound() (speed, jump float64) { return m.Speed, 0 }
 
 // Advance implements Model.
 func (m *Manhattan) Advance(now float64) {

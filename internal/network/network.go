@@ -10,11 +10,38 @@
 // concurrent use; runs are parallelized at the harness level by
 // internal/runner, which gives every run its own Network, Simulator,
 // and PRNG stream (no state in this package is shared between runs).
+//
+// # Hot-path design
+//
+// Four structures keep the substrate fast at 10k-node scale (DESIGN.md
+// has the full story):
+//
+//   - The spatial index is incremental. Instead of rebuilding the cell
+//     grid at every distinct simulation time (O(N) mobility advances per
+//     event), each node carries a cell assignment plus a safe-until
+//     deadline derived from its mobility model's DriftBound: until the
+//     deadline, the node's true position provably stays within half a
+//     cell of the position its cell was computed from. A query refreshes
+//     only the nodes whose deadlines have passed (a small index heap),
+//     widens the scan radius by that half-cell slack, and re-checks
+//     candidates exactly. Static nodes — the anchor CH population —
+//     never refresh at all.
+//   - Per-node positions at the current instant are memoized, so a
+//     broadcast storm touching the same nodes at one timestamp advances
+//     each mobility model once.
+//   - Traffic accounting interns the packet kind: one map lookup per
+//     transmission into a counter struct (tx, bytes, sender bitset)
+//     instead of three string-keyed map updates and a nested sender map.
+//   - Packet hops schedule pooled delivery records through
+//     des.ScheduleCall, and packets themselves can be pooled
+//     (AcquirePacket/ReleasePacket) with network-managed reference
+//     counts, so the steady-state per-hop allocation count is zero.
 package network
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"repro/internal/des"
 	"repro/internal/geom"
@@ -58,12 +85,23 @@ type Packet struct {
 	UID uint64
 	// Payload is protocol-defined.
 	Payload any
+
+	// Pool management (see AcquirePacket): refs counts the holders of a
+	// pooled packet — the sending caller plus every in-flight delivery —
+	// and child is a pooled packet this one keeps alive (see
+	// AdoptPacket), released when this packet recycles.
+	refs   int32
+	pooled bool
+	child  *Packet
 }
 
 // Clone returns a copy of the packet for duplication at branch points;
 // payloads are shared (protocol payloads are immutable by convention).
+// The copy is always heap-owned, never pooled, so cloning is also the
+// way a handler retains a pooled packet past its delivery.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.refs, q.pooled, q.child = 0, false, nil
 	return &q
 }
 
@@ -88,6 +126,7 @@ type Node struct {
 	up      bool
 	handler Handler
 	rng     *xrand.Rand
+	pre     radio.Precomp // cached link budget of Radio
 
 	// Traffic counters (transmissions this node performed).
 	TxPackets, TxBytes uint64
@@ -117,23 +156,49 @@ func (n *Node) Fix() gps.Fix {
 
 // TruePos returns the node's ground-truth position (the network layer
 // itself always uses truth for propagation; GPS error only affects what
-// protocols believe).
+// protocols believe). The position is memoized per simulation instant.
 func (n *Node) TruePos() geom.Point {
-	return n.Mob.TrueFix(float64(n.net.sim.Now())).Pos
+	return n.net.truePos(n)
 }
 
 // Fail takes the node down: it stops receiving and transmitting until
-// Recover. The spatial index is invalidated so neighbor queries at the
-// same instant already exclude the node.
+// Recover. The node leaves the spatial index immediately, so neighbor
+// queries at the same instant already exclude it.
 func (n *Node) Fail() {
+	if !n.up {
+		return
+	}
 	n.up = false
-	n.net.gridValid = false
+	n.net.indexRemove(n.ID)
 }
 
-// Recover brings a failed node back.
+// Recover brings a failed node back and re-enters it into the spatial
+// index at its current true position.
 func (n *Node) Recover() {
+	if n.up {
+		return
+	}
 	n.up = true
-	n.net.gridValid = false
+	n.net.indexInsert(n.ID)
+}
+
+// spatialState is the per-node bookkeeping of the incremental index.
+type spatialState struct {
+	// cell is the node's current bucket; anchorPos the position the
+	// bucket and deadline were computed from.
+	cell      cellKey
+	anchorPos geom.Point
+	// exactPos memoizes TruePos at time exactAt (-1 = never computed).
+	exactPos geom.Point
+	exactAt  des.Time
+	// safeUntil is the last instant the drift bound guarantees the true
+	// position within half a cell of anchorPos.
+	safeUntil des.Time
+	// heapIdx is the node's slot in the refresh heap; -1 when absent
+	// (down nodes, and static nodes whose deadline is infinite).
+	heapIdx int32
+	// driftSpeed/driftJump cache Mob.DriftBound().
+	driftSpeed, driftJump float64
 }
 
 // Network owns the nodes of one simulated MANET.
@@ -144,39 +209,90 @@ type Network struct {
 	rng    *xrand.Rand
 	tracer trace.Tracer
 
-	// Spatial index over node positions, rebuilt lazily per distinct
-	// simulation time.
-	cellSize  float64
-	cells     map[cellKey][]NodeID
-	gridAt    des.Time
-	gridValid bool
+	// Incremental spatial index over node positions. Cells form a dense
+	// array over the arena (padded by gridPad cells per side for movers
+	// that exceed the arena, e.g. group-motion offsets); out-of-range
+	// positions clamp to the border cells, which preserves query
+	// correctness because clamping never increases cell distance.
+	cellSize float64
+	slack    float64 // staleness tolerance of cached cell positions
+	gridMinX float64
+	gridMinY float64
+	gridCols int
+	gridRows int
+	cells    [][]NodeID // dense, indexed cy*gridCols+cx
+	sp       []spatialState
+	refresh  []NodeID // index min-heap keyed by sp[id].safeUntil
+
+	nbrScratch []NodeID     // Broadcast's reusable neighbor buffer
+	posScratch []geom.Point // positions parallel to nbrScratch
 
 	nextUID uint64
 
-	// Aggregate accounting.
-	kindTx      map[string]uint64 // transmissions per packet kind
-	kindBytes   map[string]uint64
-	kindSenders map[string]map[NodeID]bool // distinct transmitters per kind
-	ctrlBytes   uint64
-	dataBytes   uint64
-	lost        uint64
+	// Aggregate accounting, interned by packet kind.
+	kinds     map[string]*kindCounter
+	ctrlBytes uint64
+	dataBytes uint64
+	lost      uint64
+
+	// Free lists for pooled packets and delivery records.
+	freePkts []*Packet
+	freeDel  []*delivery
 }
 
+// cellKey addresses one cell of the dense grid.
 type cellKey struct{ cx, cy int }
+
+// gridPad is how many cells the dense grid extends beyond the arena on
+// each side, absorbing movers that wander slightly outside it.
+const gridPad = 2
+
+// maxSlack caps the staleness slack of the incremental index (meters).
+// Larger slack means rarer refreshes but more candidates per query to
+// prefilter; at MANET node speeds, 60 m keeps refreshes far below one
+// per node-second while adding only a thin shell to the query radius.
+const maxSlack = 60.0
+
+// kindCounter aggregates the traffic of one packet kind.
+type kindCounter struct {
+	tx      uint64
+	bytes   uint64
+	senders []uint64 // bitset over NodeID
+}
+
+func (k *kindCounter) setSender(id NodeID) {
+	w := int(id) >> 6
+	for len(k.senders) <= w {
+		k.senders = append(k.senders, 0)
+	}
+	k.senders[w] |= 1 << (uint(id) & 63)
+}
 
 // New returns an empty network over the given arena on the given
 // simulator.
 func New(sim *des.Simulator, arena geom.Rect, rng *xrand.Rand) *Network {
-	return &Network{
-		sim:         sim,
-		arena:       arena,
-		rng:         rng,
-		tracer:      trace.Nop,
-		cellSize:    radio.DefaultCH.Range,
-		kindTx:      make(map[string]uint64),
-		kindBytes:   make(map[string]uint64),
-		kindSenders: make(map[string]map[NodeID]bool),
+	w := &Network{
+		sim:        sim,
+		arena:      arena,
+		rng:        rng,
+		tracer:     trace.Nop,
+		cellSize:   radio.DefaultCH.Range,
+		kinds:      make(map[string]*kindCounter),
+		posScratch: make([]geom.Point, 0, 32),
 	}
+	w.sizeGrid()
+	return w
+}
+
+// sizeGrid (re)computes the dense grid dimensions for the current cell
+// size and allocates empty buckets.
+func (w *Network) sizeGrid() {
+	w.slack = math.Min(w.cellSize/2, maxSlack)
+	w.gridMinX = w.arena.Min.X - gridPad*w.cellSize
+	w.gridMinY = w.arena.Min.Y - gridPad*w.cellSize
+	w.gridCols = int(math.Ceil(w.arena.W()/w.cellSize)) + 2*gridPad + 1
+	w.gridRows = int(math.Ceil(w.arena.H()/w.cellSize)) + 2*gridPad + 1
+	w.cells = make([][]NodeID, w.gridCols*w.gridRows)
 }
 
 // SetTracer installs a tracer; nil resets to no-op.
@@ -209,13 +325,34 @@ func (w *Network) AddNode(mob mobility.Model, rm radio.Model, receiver gps.Recei
 		Cap:       radio.NewCapacity(rm.Bandwidth),
 		up:        true,
 		rng:       w.rng.Split(),
+		pre:       rm.Precompute(),
 	}
 	w.nodes = append(w.nodes, n)
+	w.sp = append(w.sp, spatialState{heapIdx: -1, exactAt: -1})
+	sp := &w.sp[n.ID]
+	sp.driftSpeed, sp.driftJump = mob.DriftBound()
 	if rm.Range > w.cellSize {
+		// A longer-range radio widens the grid cells; re-bucket everyone
+		// (the rebuild indexes the new node along with the rest).
 		w.cellSize = rm.Range
+		w.reindexAll()
+	} else {
+		w.indexInsert(n.ID)
 	}
-	w.gridValid = false
 	return n
+}
+
+// reindexAll rebuilds every live node's bucket after a cell-size change
+// (only possible while nodes are still being admitted).
+func (w *Network) reindexAll() {
+	w.sizeGrid()
+	w.refresh = w.refresh[:0]
+	for _, n := range w.nodes {
+		w.sp[n.ID].heapIdx = -1
+		if n.up {
+			w.indexInsert(n.ID)
+		}
+	}
 }
 
 // Node returns the node with the given ID, or nil if out of range.
@@ -238,60 +375,253 @@ func (w *Network) NextUID() uint64 {
 	return w.nextUID
 }
 
+// cellOf maps a position to dense-grid cell coordinates, clamping
+// positions outside the padded arena to the border cells.
 func (w *Network) cellOf(p geom.Point) cellKey {
-	return cellKey{int(math.Floor(p.X / w.cellSize)), int(math.Floor(p.Y / w.cellSize))}
+	cx := int((p.X - w.gridMinX) / w.cellSize)
+	cy := int((p.Y - w.gridMinY) / w.cellSize)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= w.gridCols {
+		cx = w.gridCols - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= w.gridRows {
+		cy = w.gridRows - 1
+	}
+	return cellKey{cx, cy}
 }
 
-func (w *Network) refreshGrid() {
+func (w *Network) cellIndex(c cellKey) int { return c.cy*w.gridCols + c.cx }
+
+// truePos returns the node's exact position at the current instant,
+// memoized so repeated queries within one event burst advance the
+// mobility model once.
+func (w *Network) truePos(n *Node) geom.Point {
+	return w.truePosAt(n, w.sim.Now())
+}
+
+func (w *Network) truePosAt(n *Node, now des.Time) geom.Point {
+	sp := &w.sp[n.ID]
+	if sp.exactAt != now {
+		sp.exactPos = n.Mob.TrueFix(float64(now)).Pos
+		sp.exactAt = now
+	}
+	return sp.exactPos
+}
+
+// safeSpan returns how long the node's bucket stays valid: the time for
+// the drift bound to consume the staleness slack.
+func (w *Network) safeSpan(sp *spatialState) des.Duration {
+	slack := w.slack - sp.driftJump
+	if slack <= 0 {
+		return 0 // jump exceeds the slack: revalidate at every instant
+	}
+	if sp.driftSpeed <= 0 {
+		return des.Infinity
+	}
+	return des.Duration(slack / sp.driftSpeed)
+}
+
+// indexInsert (re)computes the node's position, bucket, and deadline and
+// enters it into the index. The node must currently be outside the index.
+func (w *Network) indexInsert(id NodeID) {
+	n := w.nodes[id]
+	sp := &w.sp[id]
 	now := w.sim.Now()
-	if w.gridValid && w.gridAt == now {
-		return
+	pos := w.truePos(n)
+	sp.anchorPos = pos
+	sp.cell = w.cellOf(pos)
+	ci := w.cellIndex(sp.cell)
+	w.cells[ci] = append(w.cells[ci], id)
+	span := w.safeSpan(sp)
+	if span >= des.Infinity {
+		sp.safeUntil = des.Infinity
+		return // never expires (static node): stay out of the heap
 	}
-	if w.cells == nil {
-		w.cells = make(map[cellKey][]NodeID, len(w.nodes))
-	} else {
-		for k := range w.cells {
-			delete(w.cells, k)
+	sp.safeUntil = now + span
+	w.heapPush(id)
+}
+
+// indexRemove takes the node out of its bucket and the refresh heap.
+func (w *Network) indexRemove(id NodeID) {
+	sp := &w.sp[id]
+	w.bucketRemove(sp.cell, id)
+	if sp.heapIdx >= 0 {
+		w.heapRemove(int(sp.heapIdx))
+	}
+}
+
+func (w *Network) bucketRemove(c cellKey, id NodeID) {
+	ci := w.cellIndex(c)
+	b := w.cells[ci]
+	for i, v := range b {
+		if v == id {
+			last := len(b) - 1
+			b[i] = b[last]
+			w.cells[ci] = b[:last]
+			return
 		}
 	}
-	for _, n := range w.nodes {
-		if !n.up {
-			continue
+}
+
+// refreshTo revalidates every node whose deadline precedes now, moving
+// it between buckets when it crossed a cell boundary. Nodes are popped
+// in (deadline, ID) order, so the mobility models advance in a
+// deterministic sequence.
+func (w *Network) refreshTo(now des.Time) {
+	for len(w.refresh) > 0 {
+		id := w.refresh[0]
+		sp := &w.sp[id]
+		if sp.safeUntil >= now {
+			return
 		}
-		k := w.cellOf(n.TruePos())
-		w.cells[k] = append(w.cells[k], n.ID)
+		pos := w.truePosAt(w.nodes[id], now)
+		sp.anchorPos = pos
+		if c := w.cellOf(pos); c != sp.cell {
+			w.bucketRemove(sp.cell, id)
+			sp.cell = c
+			ci := w.cellIndex(c)
+			w.cells[ci] = append(w.cells[ci], id)
+		}
+		sp.safeUntil = now + w.safeSpan(sp)
+		w.heapFix(0)
 	}
-	w.gridAt = now
-	w.gridValid = true
+}
+
+// Refresh heap: an index min-heap of node IDs ordered by
+// (safeUntil, ID); spatialState.heapIdx tracks positions.
+
+func (w *Network) heapLess(i, j int) bool {
+	a, b := w.refresh[i], w.refresh[j]
+	sa, sb := w.sp[a].safeUntil, w.sp[b].safeUntil
+	if sa != sb {
+		return sa < sb
+	}
+	return a < b
+}
+
+func (w *Network) heapSwap(i, j int) {
+	w.refresh[i], w.refresh[j] = w.refresh[j], w.refresh[i]
+	w.sp[w.refresh[i]].heapIdx = int32(i)
+	w.sp[w.refresh[j]].heapIdx = int32(j)
+}
+
+func (w *Network) heapPush(id NodeID) {
+	w.sp[id].heapIdx = int32(len(w.refresh))
+	w.refresh = append(w.refresh, id)
+	w.heapUp(len(w.refresh) - 1)
+}
+
+func (w *Network) heapRemove(i int) {
+	last := len(w.refresh) - 1
+	w.sp[w.refresh[i]].heapIdx = -1
+	if i != last {
+		w.refresh[i] = w.refresh[last]
+		w.sp[w.refresh[i]].heapIdx = int32(i)
+	}
+	w.refresh = w.refresh[:last]
+	if i != last {
+		w.heapFix(i)
+	}
+}
+
+func (w *Network) heapFix(i int) {
+	w.heapDown(i)
+	w.heapUp(i)
+}
+
+func (w *Network) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !w.heapLess(i, parent) {
+			return
+		}
+		w.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (w *Network) heapDown(i int) {
+	n := len(w.refresh)
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= n {
+			return
+		}
+		c := l
+		if r < n && w.heapLess(r, l) {
+			c = r
+		}
+		if !w.heapLess(c, i) {
+			return
+		}
+		w.heapSwap(i, c)
+		i = c
+	}
 }
 
 // Neighbors returns the IDs of live nodes within the sender's radio
-// range, excluding the sender itself. The result is freshly allocated.
+// range, excluding the sender itself. The result is freshly allocated;
+// hot paths use NeighborsAppend with a reused buffer instead.
 func (w *Network) Neighbors(id NodeID) []NodeID {
+	return w.NeighborsAppend(id, nil)
+}
+
+// NeighborsAppend appends the IDs of live nodes within the sender's
+// radio range to out and returns the extended slice. Candidates come
+// from buckets within range plus the half-cell staleness slack; each is
+// then checked against its exact current position, so results are exact
+// despite the index being refreshed lazily.
+func (w *Network) NeighborsAppend(id NodeID, out []NodeID) []NodeID {
+	out, _ = w.NeighborsPos(id, out, nil)
+	return out
+}
+
+// NeighborsPos is NeighborsAppend that additionally appends each
+// neighbor's exact current position to pos (parallel to ids) when pos
+// is non-nil. Routing hot paths use it to avoid recomputing positions
+// the range check already produced.
+func (w *Network) NeighborsPos(id NodeID, ids []NodeID, pos []geom.Point) ([]NodeID, []geom.Point) {
 	n := w.Node(id)
 	if n == nil || !n.up {
-		return nil
+		return ids, pos
 	}
-	w.refreshGrid()
-	pos := n.TruePos()
-	r := n.Radio.Range
-	reach := int(math.Ceil(r/w.cellSize)) + 1
-	center := w.cellOf(pos)
-	var out []NodeID
-	for dx := -reach; dx <= reach; dx++ {
-		for dy := -reach; dy <= reach; dy++ {
-			for _, other := range w.cells[cellKey{center.cx + dx, center.cy + dy}] {
+	now := w.sim.Now()
+	w.refreshTo(now)
+	p := w.truePosAt(n, now)
+	// A node in range r has its anchor position within r+slack of p, so
+	// scanning the cells overlapping that disc and prefiltering on the
+	// anchor (no mobility advance) is exhaustive; only candidates inside
+	// the shell get the exact position check.
+	reach := n.Radio.Range + w.slack
+	reach2 := reach * reach
+	c0 := w.cellOf(geom.Pt(p.X-reach, p.Y-reach))
+	c1 := w.cellOf(geom.Pt(p.X+reach, p.Y+reach))
+	r2 := n.pre.Range2
+	for cy := c0.cy; cy <= c1.cy; cy++ {
+		row := w.cells[cy*w.gridCols+c0.cx : cy*w.gridCols+c1.cx+1]
+		for _, bucket := range row {
+			for _, other := range bucket {
 				if other == id {
 					continue
 				}
-				o := w.nodes[other]
-				if pos.Dist2(o.TruePos()) <= r*r {
-					out = append(out, other)
+				sp := &w.sp[other]
+				if p.Dist2(sp.anchorPos) > reach2 {
+					continue
+				}
+				op := w.truePosAt(w.nodes[other], now)
+				if p.Dist2(op) <= r2 {
+					ids = append(ids, other)
+					if pos != nil {
+						pos = append(pos, op)
+					}
 				}
 			}
 		}
 	}
-	return out
+	return ids, pos
 }
 
 // InRange reports whether a's radio currently reaches b and both are up.
@@ -300,20 +630,20 @@ func (w *Network) InRange(a, b NodeID) bool {
 	if na == nil || nb == nil || !na.up || !nb.up {
 		return false
 	}
-	return na.Radio.Reaches(na.TruePos(), nb.TruePos())
+	return na.pre.InRange2(w.truePos(na).Dist2(w.truePos(nb)))
 }
 
 func (w *Network) account(n *Node, pkt *Packet) {
 	n.TxPackets++
 	n.TxBytes += uint64(pkt.Size)
-	w.kindTx[pkt.Kind]++
-	w.kindBytes[pkt.Kind] += uint64(pkt.Size)
-	senders := w.kindSenders[pkt.Kind]
-	if senders == nil {
-		senders = make(map[NodeID]bool)
-		w.kindSenders[pkt.Kind] = senders
+	kc := w.kinds[pkt.Kind]
+	if kc == nil {
+		kc = &kindCounter{}
+		w.kinds[pkt.Kind] = kc
 	}
-	senders[n.ID] = true
+	kc.tx++
+	kc.bytes += uint64(pkt.Size)
+	kc.setSender(n.ID)
 	if pkt.Control {
 		w.ctrlBytes += uint64(pkt.Size)
 	} else {
@@ -322,6 +652,37 @@ func (w *Network) account(n *Node, pkt *Packet) {
 	if pkt.Src != n.ID {
 		n.ForwardLoad++
 	}
+}
+
+// delivery is a pooled in-flight packet hop.
+type delivery struct {
+	w        *Network
+	from, to NodeID
+	pkt      *Packet
+}
+
+// runDelivery is the shared des.ScheduleCall target for all deliveries.
+func runDelivery(a any) {
+	d := a.(*delivery)
+	w, from, to, pkt := d.w, d.from, d.to, d.pkt
+	d.pkt = nil
+	w.freeDel = append(w.freeDel, d) // recycle before the handler runs
+	w.deliver(from, to, pkt)
+}
+
+func (w *Network) scheduleDelivery(delay des.Duration, from, to NodeID, pkt *Packet) {
+	var d *delivery
+	if n := len(w.freeDel); n > 0 {
+		d = w.freeDel[n-1]
+		w.freeDel = w.freeDel[:n-1]
+	} else {
+		d = &delivery{}
+	}
+	d.w, d.from, d.to, d.pkt = w, from, to, pkt
+	if pkt.pooled {
+		pkt.refs++
+	}
+	w.sim.AfterCall(delay, runDelivery, d)
 }
 
 // Unicast transmits pkt from one node to a one-hop neighbor. It reports
@@ -334,9 +695,8 @@ func (w *Network) Unicast(from, to NodeID, pkt *Packet) bool {
 	if src == nil || dst == nil || !src.up || !dst.up {
 		return false
 	}
-	sp, dp := src.TruePos(), dst.TruePos()
-	d := sp.Dist(dp)
-	if !src.Radio.InRange(d) {
+	d2 := w.truePos(src).Dist2(w.truePos(dst))
+	if !src.pre.InRange2(d2) {
 		return false
 	}
 	w.account(src, pkt)
@@ -345,8 +705,7 @@ func (w *Network) Unicast(from, to NodeID, pkt *Packet) bool {
 		w.tracer.Eventf(trace.Radio, float64(w.sim.Now()), "LOST %s %d->%d", pkt.Kind, from, to)
 		return true
 	}
-	delay := des.Duration(src.Radio.TxDelay(pkt.Size, d))
-	w.sim.After(delay, func() { w.deliver(from, to, pkt) })
+	w.scheduleDelivery(des.Duration(src.pre.HopDelay2(pkt.Size, d2)), from, to, pkt)
 	return true
 }
 
@@ -360,32 +719,98 @@ func (w *Network) Broadcast(from NodeID, pkt *Packet) int {
 	if src == nil || !src.up {
 		return 0
 	}
-	nbrs := w.Neighbors(from)
+	w.nbrScratch, w.posScratch = w.NeighborsPos(from, w.nbrScratch[:0], w.posScratch[:0])
+	nbrs, poss := w.nbrScratch, w.posScratch
 	w.account(src, pkt)
-	sp := src.TruePos()
-	for _, to := range nbrs {
+	sp := w.truePos(src)
+	for i, to := range nbrs {
 		if src.Radio.Lost(src.rng) {
 			w.lost++
 			continue
 		}
-		dst := w.nodes[to]
-		delay := des.Duration(src.Radio.TxDelay(pkt.Size, sp.Dist(dst.TruePos())))
-		to := to
-		w.sim.After(delay, func() { w.deliver(from, to, pkt) })
+		d2 := sp.Dist2(poss[i])
+		w.scheduleDelivery(des.Duration(src.pre.HopDelay2(pkt.Size, d2)), from, to, pkt)
 	}
 	return len(nbrs)
 }
 
 func (w *Network) deliver(from, to NodeID, pkt *Packet) {
-	dst := w.Node(to)
-	if dst == nil || !dst.up {
-		return // went down while the packet was in flight
+	dst := w.nodes[to]
+	if dst.up { // may have gone down while the packet was in flight
+		pkt.Hops++
+		dst.RxPackets++
+		dst.RxBytes += uint64(pkt.Size)
+		if dst.handler != nil {
+			dst.handler(dst, from, pkt)
+		}
 	}
-	pkt.Hops++
-	dst.RxPackets++
-	dst.RxBytes += uint64(pkt.Size)
-	if dst.handler != nil {
-		dst.handler(dst, from, pkt)
+	if pkt.pooled {
+		w.unref(pkt)
+	}
+}
+
+// AcquirePacket returns a zeroed packet from the network's pool. The
+// caller owns one reference: after its last Unicast/Broadcast of the
+// packet it must call ReleasePacket, and the network returns the packet
+// to the pool once every in-flight delivery has also completed. Receive
+// handlers must not retain a pooled packet past their return — Clone
+// yields an unpooled copy for that. Best suited to high-volume packets
+// whose handlers consume them immediately (beacons, geo envelopes).
+func (w *Network) AcquirePacket() *Packet {
+	var p *Packet
+	if n := len(w.freePkts); n > 0 {
+		p = w.freePkts[n-1]
+		w.freePkts = w.freePkts[:n-1]
+	} else {
+		p = &Packet{}
+	}
+	p.pooled = true
+	p.refs = 1
+	return p
+}
+
+// ReleasePacket drops the caller's reference to a packet obtained from
+// AcquirePacket. Calling it on nil or unpooled packets is a no-op, so
+// call sites need not distinguish.
+func (w *Network) ReleasePacket(p *Packet) {
+	if p != nil && p.pooled {
+		w.unref(p)
+	}
+}
+
+// RetainPacket adds a reference to a pooled packet, for a holder that
+// keeps it alive across scheduling boundaries the network cannot see
+// (e.g. a routing envelope carrying it over several hops). Each Retain
+// needs a matching ReleasePacket. No-op for nil or unpooled packets.
+func (w *Network) RetainPacket(p *Packet) {
+	if p != nil && p.pooled {
+		p.refs++
+	}
+}
+
+// AdoptPacket makes a pooled parent keep child alive: child gains a
+// reference now and loses it when the parent recycles. An encapsulating
+// protocol uses this to pin its payload packet to the envelope's
+// lifetime, so every envelope outcome — delivered, dropped, or lost in
+// flight — releases the payload without the protocol seeing the loss.
+// No-op unless both packets are pooled.
+func (w *Network) AdoptPacket(parent, child *Packet) {
+	if parent == nil || child == nil || !parent.pooled || !child.pooled {
+		return
+	}
+	child.refs++
+	parent.child = child
+}
+
+func (w *Network) unref(p *Packet) {
+	p.refs--
+	if p.refs <= 0 {
+		child := p.child
+		*p = Packet{}
+		w.freePkts = append(w.freePkts, p)
+		if child != nil {
+			w.ReleasePacket(child)
+		}
 	}
 }
 
@@ -399,13 +824,14 @@ type Stats struct {
 
 // Stats returns a copy of the aggregate counters.
 func (w *Network) Stats() Stats {
-	kt := make(map[string]uint64, len(w.kindTx))
-	for k, v := range w.kindTx {
-		kt[k] = v
-	}
-	kb := make(map[string]uint64, len(w.kindBytes))
-	for k, v := range w.kindBytes {
-		kb[k] = v
+	kt := make(map[string]uint64, len(w.kinds))
+	kb := make(map[string]uint64, len(w.kinds))
+	for k, c := range w.kinds {
+		if c.tx == 0 && c.bytes == 0 {
+			continue
+		}
+		kt[k] = c.tx
+		kb[k] = c.bytes
 	}
 	return Stats{
 		ControlBytes: w.ctrlBytes,
@@ -421,9 +847,9 @@ func (w *Network) Stats() Stats {
 // plane appears both under its own kind and under "geo:<kind>").
 func (w *Network) BytesMatching(match func(kind string) bool) uint64 {
 	var total uint64
-	for k, b := range w.kindBytes {
+	for k, c := range w.kinds {
 		if match(k) {
-			total += b
+			total += c.bytes
 		}
 	}
 	return total
@@ -433,30 +859,36 @@ func (w *Network) BytesMatching(match func(kind string) bool) uint64 {
 // a kind accepted by match — the "how many nodes are involved"
 // measure of the paper's membership argument.
 func (w *Network) SendersMatching(match func(kind string) bool) int {
-	seen := make(map[NodeID]bool)
-	for k, senders := range w.kindSenders {
+	var union []uint64
+	for k, c := range w.kinds {
 		if !match(k) {
 			continue
 		}
-		for id := range senders {
-			seen[id] = true
+		for len(union) < len(c.senders) {
+			union = append(union, 0)
+		}
+		for i, b := range c.senders {
+			union[i] |= b
 		}
 	}
-	return len(seen)
+	total := 0
+	for _, b := range union {
+		total += bits.OnesCount64(b)
+	}
+	return total
 }
 
 // ResetTraffic zeroes all traffic counters (network-wide and per-node);
-// experiments call it at the end of the warm-up phase.
+// experiments call it at the end of the warm-up phase. Interned kind
+// counters are kept and zeroed in place, so the measurement phase does
+// not re-allocate them.
 func (w *Network) ResetTraffic() {
 	w.ctrlBytes, w.dataBytes, w.lost = 0, 0, 0
-	for k := range w.kindTx {
-		delete(w.kindTx, k)
-	}
-	for k := range w.kindBytes {
-		delete(w.kindBytes, k)
-	}
-	for k := range w.kindSenders {
-		delete(w.kindSenders, k)
+	for _, c := range w.kinds {
+		c.tx, c.bytes = 0, 0
+		for i := range c.senders {
+			c.senders[i] = 0
+		}
 	}
 	for _, n := range w.nodes {
 		n.TxPackets, n.TxBytes, n.RxPackets, n.RxBytes, n.ForwardLoad = 0, 0, 0, 0, 0

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/des"
@@ -66,6 +67,19 @@ func TestNeighborsExcludeDown(t *testing.T) {
 	b.Recover()
 	if nbrs := net.Neighbors(a.ID); len(nbrs) != 1 {
 		t.Fatalf("recovered node missing: %v", nbrs)
+	}
+}
+
+func TestAddNodeGrowingCellSizeNoDuplicates(t *testing.T) {
+	// A radio range above the initial cell size triggers a grid rebuild;
+	// the just-added node must be indexed exactly once.
+	_, net := testNet()
+	a := addStatic(net, 0, 0)
+	big := radio.Model{Range: 400, Bandwidth: 2e6, ProcDelay: 1e-3}
+	b := net.AddNode(&mobility.Static{P: geom.Pt(100, 0)}, big, nil, false)
+	nbrs := net.Neighbors(a.ID)
+	if len(nbrs) != 1 || nbrs[0] != b.ID {
+		t.Fatalf("neighbors of a = %v want exactly [%d]", nbrs, b.ID)
 	}
 }
 
@@ -232,6 +246,21 @@ func TestLossyLink(t *testing.T) {
 	}
 }
 
+func TestAdoptPacketReleasesChildOnRecycle(t *testing.T) {
+	_, net := testNet()
+	inner := net.AcquirePacket()
+	env := net.AcquirePacket()
+	net.AdoptPacket(env, inner)
+	net.ReleasePacket(inner) // caller done; the envelope keeps it alive
+	if p := net.AcquirePacket(); p == inner {
+		t.Fatal("adopted child recycled while its parent was still live")
+	}
+	net.ReleasePacket(env) // parent recycles -> child reference released
+	if p := net.AcquirePacket(); p != inner {
+		t.Fatal("child not recycled after its parent was released")
+	}
+}
+
 func TestPacketClone(t *testing.T) {
 	p := &Packet{Kind: "x", Size: 10, UID: 99, Hops: 2}
 	q := p.Clone()
@@ -277,4 +306,7 @@ func newLinearMover(p geom.Point, v geom.Vector) *linearMover {
 func (m *linearMover) Advance(float64) {}
 func (m *linearMover) TrueFix(now float64) gps.Fix {
 	return gps.Fix{Pos: m.p0.Add(m.v.Scale(now)), Vel: m.v}
+}
+func (m *linearMover) DriftBound() (speed, jump float64) {
+	return math.Hypot(m.v.DX, m.v.DY), 0
 }

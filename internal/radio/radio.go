@@ -70,6 +70,44 @@ func (m Model) Lost(rng *xrand.Rand) bool {
 	return m.LossProb > 0 && rng.Bool(m.LossProb)
 }
 
+// Precomp caches the derived link-budget quantities of a Model so the
+// per-transmission hot path (one range check and one delay computation
+// per packet hop) runs on multiplications against squared distances
+// instead of divisions and square roots. The network layer computes one
+// Precomp per node at admission time.
+type Precomp struct {
+	// Range2 is Range squared, for sqrt-free range checks against
+	// squared distances.
+	Range2 float64
+	// SecPerByte is 8/Bandwidth: seconds of transmission time per byte.
+	SecPerByte float64
+	// ProcDelay mirrors Model.ProcDelay.
+	ProcDelay float64
+}
+
+// invLightSpeed converts meters to propagation seconds by multiplication.
+const invLightSpeed = 1.0 / lightSpeed
+
+// Precompute derives the cached link budget of the model.
+func (m Model) Precompute() Precomp {
+	p := Precomp{Range2: m.Range * m.Range, ProcDelay: m.ProcDelay}
+	if m.Bandwidth > 0 {
+		p.SecPerByte = 8 / m.Bandwidth
+	}
+	return p
+}
+
+// InRange2 reports whether a receiver at squared distance d2 is
+// reachable.
+func (p Precomp) InRange2(d2 float64) bool { return d2 <= p.Range2 }
+
+// HopDelay2 returns the one-hop latency for a packet of the given size
+// (bytes) over squared distance d2 (square meters) — Model.TxDelay with
+// the division and the caller's sqrt folded in.
+func (p Precomp) HopDelay2(sizeBytes int, d2 float64) float64 {
+	return float64(sizeBytes)*p.SecPerByte + math.Sqrt(d2)*invLightSpeed + p.ProcDelay
+}
+
 // LinkQuality is a soft link metric in [0, 1]: 1 close by, falling to 0
 // at the range edge. The clustering tier uses it to prefer central
 // nodes; it is a standard received-power proxy (quadratic path loss).

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/des"
@@ -22,6 +23,9 @@ type slowMover struct {
 func (m *slowMover) Advance(float64) {}
 func (m *slowMover) TrueFix(now float64) gps.Fix {
 	return gps.Fix{Pos: m.from.Add(m.vel.Scale(now)), Vel: m.vel}
+}
+func (m *slowMover) DriftBound() (speed, jump float64) {
+	return math.Hypot(m.vel.DX, m.vel.DY), 0
 }
 
 // TestMemberMigratesAcrossHypercubes is the end-to-end mobility test:
