@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/des"
 	"repro/internal/logicalid"
@@ -48,6 +49,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *nodes < 0 || *fail < 0 || *cube < 0 {
+		fmt.Fprintf(os.Stderr, "hvdbmap: -nodes, -fail, and -cube must be non-negative\n")
+		os.Exit(2)
+	}
 	spec := scenario.DefaultSpec()
 	spec.Seed = *seed
 	spec.ArenaSize = *arena
@@ -72,6 +77,11 @@ func renderMap(spec scenario.Spec, warm float64, fail, cube int) {
 	w, err := scenario.Build(spec)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if n := w.Scheme.NumHypercubes(); cube >= n {
+		fmt.Fprintf(os.Stderr, "hvdbmap: unknown hypercube %d\nusage: this arena has hypercubes 0..%d (-cube selects one to render)\n",
+			cube, n-1)
+		os.Exit(2)
 	}
 	w.Start()
 	w.Sim.RunUntil(des.Time(warm))

@@ -1,5 +1,11 @@
-// Command hvdbsim runs HVDB simulation scenarios from flags and reports
+// Command hvdbsim runs simulation scenarios from flags and reports
 // delivery and overhead metrics, tracing protocol events on request.
+// Any registered protocol arm can be driven (-protocol), either with
+// the default CBR workload or with a scripted dynamic scenario
+// (-script): a built-in script name or a JSON script file with timed
+// node churn, membership churn, traffic generators, radio degradation,
+// and partition windows (see DESIGN.md "Protocol plane & scenario
+// scripts" for the grammar).
 //
 // A single trial prints the full metric breakdown. With -trials N the
 // scenario is replicated N times with positionally derived seeds
@@ -11,6 +17,8 @@
 //
 //	hvdbsim -nodes 300 -groups 2 -members 12 -speed 10 -packets 30 -trace multicast
 //	hvdbsim -nodes 300 -trials 16 -parallel 4
+//	hvdbsim -protocol spbm -script churn-storm
+//	hvdbsim -protocol cbt -script my-scenario.json -trials 8
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/membership"
 	"repro/internal/network"
+	"repro/internal/protocol"
 	"repro/internal/radio"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -43,15 +52,41 @@ func main() {
 		groups   = flag.Int("groups", 1, "multicast groups")
 		members  = flag.Int("members", 10, "members per group")
 		speed    = flag.Float64("speed", 5, "max node speed m/s (0 = static)")
-		packets  = flag.Int("packets", 20, "data packets per group")
-		payload  = flag.Int("payload", 512, "payload bytes per packet")
+		packets  = flag.Int("packets", 20, "data packets per group (CBR mode; ignored with -script)")
+		payload  = flag.Int("payload", 512, "payload bytes per packet (CBR mode)")
 		warm     = flag.Float64("warmup", 15, "warm-up simulated seconds")
 		loss     = flag.Float64("loss", 0, "per-transmission loss probability")
+		proto    = flag.String("protocol", "hvdb", "protocol arm to drive (see -protocol help below)")
+		script   = flag.String("script", "", "scripted scenario: a built-in name or a JSON script file")
 		trials   = flag.Int("trials", 1, "independent trials (seeds derived per trial)")
 		parallel = flag.Int("parallel", 0, "max concurrent trials (0 = GOMAXPROCS)")
 		traceCat = flag.String("trace", "", "comma-separated trace categories (sim,mobility,radio,cluster,routes,membership,multicast)")
 	)
 	flag.Parse()
+
+	known := false
+	for _, name := range protocol.Names() {
+		if name == *proto {
+			known = true
+			break
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "hvdbsim: unknown protocol %q\nusage: -protocol takes one of: %s\n",
+			*proto, strings.Join(protocol.Names(), ", "))
+		os.Exit(2)
+	}
+
+	var sc *scenario.Script
+	if *script != "" {
+		var err error
+		sc, err = loadScript(*script)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hvdbsim: %v\nusage: -script takes a built-in name (%s) or a JSON script file\n",
+				err, strings.Join(scenario.BuiltinScripts(), ", "))
+			os.Exit(2)
+		}
+	}
 
 	baseSpec := scenario.DefaultSpec()
 	baseSpec.Seed = *seed
@@ -70,8 +105,13 @@ func main() {
 		baseSpec.MaxSpeed = *speed
 	}
 
+	cfg := trialConfig{
+		proto: *proto, script: sc,
+		warm: *warm, packets: *packets, payload: *payload,
+	}
+
 	if *trials <= 1 {
-		res, err := runTrial(baseSpec, *warm, *packets, *payload, *traceCat, true)
+		res, err := runTrial(baseSpec, cfg, *traceCat, true)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -86,7 +126,7 @@ func main() {
 		func(r runner.Run) (trialResult, error) {
 			spec := baseSpec
 			spec.Seed = r.Seed
-			return runTrial(spec, *warm, *packets, *payload, "", false)
+			return runTrial(spec, cfg, "", false)
 		})
 	if err != nil {
 		log.Fatal(err)
@@ -94,13 +134,38 @@ func main() {
 	printAggregate(*seed, results)
 }
 
+// loadScript resolves a -script argument: a built-in script name first,
+// then a JSON file path.
+func loadScript(arg string) (*scenario.Script, error) {
+	if s, err := scenario.BuiltinScript(arg); err == nil {
+		return s, nil
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("unknown built-in script and unreadable file: %v", err)
+	}
+	return scenario.ParseScript(data)
+}
+
+// trialConfig is the per-trial workload selection.
+type trialConfig struct {
+	proto   string
+	script  *scenario.Script
+	warm    float64
+	packets int
+	payload int
+}
+
 // trialResult is everything one scenario run reports.
 type trialResult struct {
 	desc                 string
 	grid                 string
+	proto                string
+	script               string
 	clusters             int
 	endTime              float64
 	expected, delivered  int
+	stale                int
 	meanDelay, p95Delay  float64
 	ctlPerNodeS          float64
 	dataBytes            uint64
@@ -116,75 +181,74 @@ func (r trialResult) pdr() float64 {
 	return float64(r.delivered) / float64(r.expected)
 }
 
-// runTrial builds one world, drives the warm-up and traffic phases, and
-// collects the metrics. Each call owns its world and simulator, so
-// trials can run concurrently.
-func runTrial(spec scenario.Spec, warm float64, packets, payload int, traceCat string, verbose bool) (trialResult, error) {
+// runTrial builds one world, drives the warm-up and traffic phases
+// through the selected protocol arm, and collects the metrics. Each
+// call owns its world and simulator, so trials can run concurrently.
+func runTrial(spec scenario.Spec, cfg trialConfig, traceCat string, verbose bool) (trialResult, error) {
 	w, err := scenario.Build(spec)
 	if err != nil {
 		return trialResult{}, err
 	}
+	stk, err := w.Protocol(cfg.proto)
+	if err != nil {
+		return trialResult{}, err
+	}
 	if traceCat != "" {
-		var cats []trace.Category
-		for _, name := range strings.Split(traceCat, ",") {
-			found := false
-			for c := trace.Category(0); c < trace.NumCategories; c++ {
-				if c.String() == strings.TrimSpace(name) {
-					cats = append(cats, c)
-					found = true
-				}
-			}
-			if !found {
-				return trialResult{}, fmt.Errorf("unknown trace category %q", name)
-			}
+		if err := wireTracer(w, cfg.proto, traceCat); err != nil {
+			return trialResult{}, err
 		}
-		tr := trace.NewWriter(os.Stderr, cats...)
-		w.Net.SetTracer(tr)
-		w.CM.SetTracer(tr)
-		w.BB.SetTracer(tr)
-		w.MS.SetTracer(tr)
-		w.MC.SetTracer(tr)
 	}
 
 	res := trialResult{
-		desc: fmt.Sprint(w.Net),
+		desc:  fmt.Sprint(w.Net),
+		proto: cfg.proto,
 		grid: fmt.Sprintf("grid %dx%d VCs, %d hypercubes of dim %d",
 			w.Grid.Cols(), w.Grid.Rows(), w.Scheme.NumHypercubes(), w.Scheme.Dim()),
 	}
 
-	w.Start()
-	w.WarmUp(des.Duration(warm))
+	stk.Start()
+	w.WarmUp(des.Duration(cfg.warm))
 	res.clusters = len(w.CM.Heads())
 	if verbose {
-		fmt.Printf("%s | %s\n", res.desc, res.grid)
+		fmt.Printf("%s | %s | protocol %s\n", res.desc, res.grid, cfg.proto)
 		fmt.Printf("warm-up done at t=%.1fs: %d clusters headed\n", float64(w.Sim.Now()), res.clusters)
 	}
 
-	// Traffic phase: CBR per group from a random source.
 	var delays stats.Sample
-	w.MC.OnDeliver(func(member network.NodeID, uid uint64, born des.Time, hops int) {
-		res.delivered++
-		delays.Add(float64(w.Sim.Now() - born))
-	})
-	for g := 0; g < spec.Groups; g++ {
-		g := membership.Group(g)
-		src := w.RandomSource()
-		w.CBR(func() uint64 {
-			uid := w.MC.Send(src, g, payload)
-			if uid != 0 {
-				res.expected += len(w.Members[g])
-			}
-			return uid
-		}, 0.5, packets)
+	if cfg.script != nil {
+		res.script = cfg.script.Name
+		sr, err := w.RunScript(stk, cfg.script)
+		if err != nil {
+			return trialResult{}, err
+		}
+		res.expected, res.delivered, res.stale = sr.Expected, sr.Delivered, sr.Stale
+		res.meanDelay, res.p95Delay = sr.MeanDelay, sr.P95Delay
+	} else {
+		// Traffic phase: CBR per group from a random source.
+		stk.Deliveries(func(member network.NodeID, uid uint64, born des.Time, hops int) {
+			res.delivered++
+			delays.Add(float64(w.Sim.Now() - born))
+		})
+		for g := 0; g < spec.Groups; g++ {
+			g := membership.Group(g)
+			src := w.RandomSource()
+			w.CBR(func() uint64 {
+				uid := stk.Send(src, g, cfg.payload)
+				if uid != 0 {
+					res.expected += len(w.Members[g])
+				}
+				return uid
+			}, 0.5, cfg.packets)
+		}
+		w.Sim.RunUntil(w.Sim.Now() + des.Duration(cfg.packets)*0.5 + 5)
+		res.meanDelay = delays.Mean()
+		res.p95Delay = delays.Percentile(95)
 	}
-	w.Sim.RunUntil(w.Sim.Now() + des.Duration(packets)*0.5 + 5)
-	w.Stop()
+	stk.Stop()
 
 	st := w.Net.Stats()
-	elapsed := float64(w.Sim.Now()) - warm
+	elapsed := float64(w.Sim.Now()) - cfg.warm
 	res.endTime = float64(w.Sim.Now())
-	res.meanDelay = delays.Mean()
-	res.p95Delay = delays.Percentile(95)
 	res.ctlPerNodeS = float64(st.ControlBytes) / float64(w.Net.Len()) / elapsed
 	res.dataBytes = st.DataBytes
 	res.jain = stats.JainIndex(w.Net.ForwardLoads())
@@ -200,11 +264,45 @@ func runTrial(spec scenario.Spec, warm float64, packets, payload int, traceCat s
 	return res, nil
 }
 
+// wireTracer installs the requested trace categories; the protocol
+// plane tracers only exist on the hvdb arm.
+func wireTracer(w *scenario.World, proto, traceCat string) error {
+	var cats []trace.Category
+	for _, name := range strings.Split(traceCat, ",") {
+		found := false
+		for c := trace.Category(0); c < trace.NumCategories; c++ {
+			if c.String() == strings.TrimSpace(name) {
+				cats = append(cats, c)
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown trace category %q", name)
+		}
+	}
+	tr := trace.NewWriter(os.Stderr, cats...)
+	w.Net.SetTracer(tr)
+	if proto == "hvdb" {
+		w.CM.SetTracer(tr)
+		w.BB.SetTracer(tr)
+		w.MS.SetTracer(tr)
+		w.MC.SetTracer(tr)
+	}
+	return nil
+}
+
 func printSingle(r trialResult) {
-	fmt.Printf("\nresults at t=%.1fs:\n", r.endTime)
+	if r.script != "" {
+		fmt.Printf("\nscript %q results at t=%.1fs:\n", r.script, r.endTime)
+	} else {
+		fmt.Printf("\nresults at t=%.1fs:\n", r.endTime)
+	}
 	if r.expected > 0 {
 		fmt.Printf("  delivery ratio      %.1f%% (%d of %d member deliveries)\n",
 			100*r.pdr(), r.delivered, r.expected)
+	}
+	if r.stale > 0 {
+		fmt.Printf("  stale deliveries    %d (to members that had left)\n", r.stale)
 	}
 	fmt.Printf("  mean delay          %.2f ms (p95 %.2f ms)\n", r.meanDelay*1000, r.p95Delay*1000)
 	fmt.Printf("  control overhead    %.0f bytes/node/s\n", r.ctlPerNodeS)
@@ -215,7 +313,10 @@ func printSingle(r trialResult) {
 }
 
 func printAggregate(seed uint64, results []trialResult) {
-	fmt.Printf("%s | %s\n", results[0].desc, results[0].grid)
+	fmt.Printf("%s | %s | protocol %s\n", results[0].desc, results[0].grid, results[0].proto)
+	if s := results[0].script; s != "" {
+		fmt.Printf("script %q\n", s)
+	}
 	fmt.Printf("%d trials, seeds derived from base %d\n\n", len(results), seed)
 
 	metric := func(name, unit string, get func(trialResult) float64) {
@@ -238,6 +339,9 @@ func printAggregate(seed uint64, results []trialResult) {
 	}
 	if anyExpected {
 		metric("delivery ratio", "%", func(r trialResult) float64 { return 100 * r.pdr() })
+	}
+	if results[0].script != "" {
+		metric("stale deliveries", "", func(r trialResult) float64 { return float64(r.stale) })
 	}
 	metric("mean delay", "ms", func(r trialResult) float64 { return r.meanDelay * 1000 })
 	metric("p95 delay", "ms", func(r trialResult) float64 { return r.p95Delay * 1000 })

@@ -1,7 +1,9 @@
 // Vehicular: emergency warnings in a vehicular network (one of the
 // paper's motivating applications) — fast nodes on a large arena, where
-// the HVDB is compared head-to-head against flooding on the same world:
-// same warning traffic, radically different channel cost.
+// the HVDB is compared head-to-head against flooding on identically
+// specced worlds: same warning traffic, radically different channel
+// cost. Both arms run through the uniform protocol registry, so the
+// drive loop is a single code path.
 package main
 
 import (
@@ -9,10 +11,9 @@ import (
 	"log"
 
 	"repro"
-	"repro/internal/baseline"
 )
 
-func run(useFlooding bool) {
+func run(name string) {
 	spec := hvdb.DefaultSpec()
 	spec.Seed = 3
 	spec.ArenaSize = 3000 // 12x12 VCs, nine 4-D hypercubes
@@ -26,45 +27,27 @@ func run(useFlooding bool) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	name := "hvdb"
-	var flood *baseline.Flooding
-	if useFlooding {
-		name = "flooding"
-		p, err := w.Baseline("flooding")
-		if err != nil {
-			log.Fatal(err)
-		}
-		flood = p.(*baseline.Flooding)
+	stk, err := w.Protocol(name)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	w.Start()
+	stk.Start()
 	w.WarmUp(12)
 
 	delivered := 0
-	count := func(hvdb.NodeID, uint64, hvdb.Time, int) { delivered++ }
-	if flood != nil {
-		flood.OnDeliver(count)
-	} else {
-		w.MC.OnDeliver(count)
-	}
+	stk.Deliveries(func(hvdb.NodeID, uint64, hvdb.Time, int) { delivered++ })
 
 	// Ten emergency warnings from vehicles at random positions.
 	sent := 0
 	for i := 0; i < 10; i++ {
-		src := w.RandomSource()
-		var uid uint64
-		if flood != nil {
-			uid = flood.Send(src, 0, 128)
-		} else {
-			uid = w.MC.Send(src, 0, 128)
-		}
-		if uid != 0 {
+		if stk.Send(w.RandomSource(), 0, 128) != 0 {
 			sent++
 		}
 		w.Sim.RunUntil(w.Sim.Now() + 1)
 	}
 	w.Sim.RunUntil(w.Sim.Now() + 5)
-	w.Stop()
+	stk.Stop()
 
 	st := w.Net.Stats()
 	expected := sent * len(w.Members[0])
@@ -74,8 +57,8 @@ func run(useFlooding bool) {
 
 func main() {
 	fmt.Println("vehicular emergency warnings: HVDB vs flooding on identical worlds")
-	run(false)
-	run(true)
+	run("hvdb")
+	run("flooding")
 	fmt.Println("\nflooding pays for every warning with a transmission per vehicle;")
 	fmt.Println("the HVDB pays a bounded backbone overhead instead")
 }

@@ -45,9 +45,10 @@
 //	internal/multicast  Figure 6 logical location-based multicast
 //	internal/qos        session admission over backbone routes
 //	internal/baseline   flooding, DSM-, PBM-, SPBM-, CBT-like schemes
-//	internal/scenario   world construction, traffic, failures
+//	internal/protocol   uniform Stack interface + arm registry
+//	internal/scenario   world construction, traffic, scenario scripts
 //	internal/runner     parallel run harness (positional seeding)
-//	internal/experiment figure/claim/scale regeneration harness
+//	internal/experiment figure/claim/scale/stress regeneration harness
 //	internal/viz        ASCII backbone renderings (cmd/hvdbmap)
 package hvdb
 
@@ -58,6 +59,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/membership"
 	"repro/internal/network"
+	"repro/internal/protocol"
 	"repro/internal/qos"
 	"repro/internal/scenario"
 )
@@ -116,6 +118,37 @@ func NewQoS(w *World) *QoSManager { return qos.NewManager(w.BB, w.MS, w.MC) }
 
 // SessionID identifies an admitted QoS session.
 type SessionID = qos.SessionID
+
+// Protocol is the uniform surface of one multicast arm — HVDB or any of
+// the compared baseline schemes. Build one by name with World.Protocol;
+// see internal/protocol for the interface contract.
+type Protocol = protocol.Stack
+
+// ProtocolStats is the uniform counter snapshot of one arm.
+type ProtocolStats = protocol.Stats
+
+// Protocols lists the registered protocol arm names.
+func Protocols() []string { return protocol.Names() }
+
+// Script is a deterministic timetable of mid-run dynamics — node and
+// membership churn, traffic generators, radio degradation, partitions —
+// played against a world with World.RunScript.
+type Script = scenario.Script
+
+// Directive is one timed action of a Script.
+type Directive = scenario.Directive
+
+// ScriptResult reports the measured outcome of one script run.
+type ScriptResult = scenario.ScriptResult
+
+// ParseScript decodes and validates a JSON scenario script.
+func ParseScript(data []byte) (*Script, error) { return scenario.ParseScript(data) }
+
+// BuiltinScripts lists the built-in stress scenario names.
+func BuiltinScripts() []string { return scenario.BuiltinScripts() }
+
+// BuiltinScript returns a fresh copy of one built-in stress scenario.
+func BuiltinScript(name string) (*Script, error) { return scenario.BuiltinScript(name) }
 
 // ExperimentIDs lists the available experiments (f1..f6 regenerate the
 // paper's figures; c1..c6 quantify its claims).

@@ -32,8 +32,8 @@ func TestFacadeBuildAndRun(t *testing.T) {
 
 func TestFacadeExperimentList(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 13 { // f1..f6, c1..c6, scale
-		t.Fatalf("experiments %d want 13", len(ids))
+	if len(ids) != 14 { // f1..f6, c1..c6, scale, stress
+		t.Fatalf("experiments %d want 14", len(ids))
 	}
 	for _, id := range ids {
 		if ExperimentTitle(id) == "" {

@@ -29,6 +29,8 @@
 package baseline
 
 import (
+	"sort"
+
 	"repro/internal/des"
 	"repro/internal/network"
 )
@@ -162,7 +164,10 @@ func prunedTree(parent map[network.NodeID]network.NodeID, root network.NodeID, d
 	return tree
 }
 
-// childrenOf inverts a parent map at one node.
+// childrenOf inverts a parent map at one node. Children come back in ID
+// order: callers transmit to them, and transmission order must not
+// depend on map iteration (each send may draw from the sender's loss
+// stream).
 func childrenOf(tree map[network.NodeID]network.NodeID, u network.NodeID) []network.NodeID {
 	var out []network.NodeID
 	for child, parent := range tree {
@@ -170,5 +175,20 @@ func childrenOf(tree map[network.NodeID]network.NodeID, u network.NodeID) []netw
 			out = append(out, child)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// sortedMembers returns the IDs with at least one joined group, in ID
+// order — the deterministic iteration base for periodic per-member
+// control rounds.
+func (m *membershipStore) sortedMembers() []network.NodeID {
+	out := make([]network.NodeID, 0, len(m.joined))
+	for id, groups := range m.joined {
+		if len(groups) > 0 {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }

@@ -118,8 +118,8 @@ func (c *CBT) JoinRound() {
 		return
 	}
 	corePos := c.corePos()
-	for id, groups := range c.ms.joined {
-		if len(groups) == 0 || id == c.Core {
+	for _, id := range c.ms.sortedMembers() {
+		if id == c.Core {
 			continue
 		}
 		n := c.net.Node(id)

@@ -1,6 +1,8 @@
 package baseline
 
 import (
+	"sort"
+
 	"repro/internal/des"
 	"repro/internal/geom"
 	"repro/internal/georoute"
@@ -93,10 +95,7 @@ func (p *PBM) Stop() {
 
 // ReportRound floods a position report from every group member.
 func (p *PBM) ReportRound() {
-	for id, groups := range p.ms.joined {
-		if len(groups) == 0 {
-			continue
-		}
+	for _, id := range p.ms.sortedMembers() {
 		n := p.net.Node(id)
 		if n == nil || !n.Up() {
 			continue
@@ -196,7 +195,15 @@ func (p *PBM) forward(u, origin network.NodeID, g Group, uid uint64, born des.Ti
 		h.Dests = append(h.Dests, dest)
 		h.Targets = append(h.Targets, target)
 	}
-	for succ, h := range bySucc {
+	// Transmit per successor in ID order (map order must not feed the
+	// sender's loss stream).
+	succs := make([]network.NodeID, 0, len(bySucc))
+	for succ := range bySucc {
+		succs = append(succs, succ)
+	}
+	sort.Slice(succs, func(i, j int) bool { return succs[i] < succs[j] })
+	for _, succ := range succs {
+		h := bySucc[succ]
 		pkt := &network.Packet{
 			Kind: PBMDataKind, Src: origin, Dst: succ, Group: int(g),
 			Size: h.PayloadSize + 8 + 20*len(h.Dests), // per-dest position in header

@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/des"
 	"repro/internal/geom"
@@ -150,7 +151,15 @@ func (s *SPBM) levelRound(level int) {
 			reps[c] = n.ID
 		}
 	}
-	for child, rep := range reps {
+	// Transmit per square in coordinate order (map order must not feed
+	// the representatives' loss streams).
+	children := make([]geom.Point, 0, len(reps))
+	for child := range reps {
+		children = append(children, child)
+	}
+	sortPoints(children)
+	for _, child := range children {
+		rep := reps[child]
 		parent := s.squareCenter(child, level)
 		inner := &network.Packet{
 			Kind: SPBMUpdateKind, Src: rep, Dst: network.NoNode,
@@ -180,7 +189,12 @@ func (s *SPBM) Send(src network.NodeID, g Group, payloadSize int) uint64 {
 		}
 		squares[s.squareCenter(s.net.Node(m).TruePos(), 0)] = true
 	}
+	targets := make([]geom.Point, 0, len(squares))
 	for c := range squares {
+		targets = append(targets, c)
+	}
+	sortPoints(targets)
+	for _, c := range targets {
 		hdr := &spbmHeader{Square: c, PayloadSize: payloadSize}
 		inner := &network.Packet{
 			Kind: SPBMDataKind, Src: src, Dst: network.NoNode, Group: int(g),
@@ -212,3 +226,14 @@ func (s *SPBM) onLocal(n *network.Node, _ network.NodeID, pkt *network.Packet) {
 
 // DeliveryCount returns how many members received uid.
 func (s *SPBM) DeliveryCount(uid uint64) int { return s.log.count(uid) }
+
+// sortPoints orders square centers by (X, Y) so per-square
+// transmissions happen in a deterministic sequence.
+func sortPoints(ps []geom.Point) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+}

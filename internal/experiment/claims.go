@@ -3,13 +3,12 @@ package experiment
 import (
 	"fmt"
 
-	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/hypercube"
 	"repro/internal/logicalid"
-	"repro/internal/membership"
 	"repro/internal/network"
+	"repro/internal/protocol"
 	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/internal/stats"
@@ -228,39 +227,26 @@ func ClaimLoadBalance(o Options) []*Table {
 	// The two protocol arms run on identically specced (but separately
 	// built) worlds, so they fan out as independent runs. One shared
 	// drive keeps the traffic pattern identical between arms.
-	drive := func(w *scenario.World, wire func(*runMetrics), send func(src network.NodeID) uint64, stop func()) *runMetrics {
+	drive := func(w *scenario.World, stk protocol.Stack) *runMetrics {
+		stk.Start()
 		w.WarmUp(12)
 		m := newRunMetrics(w.Sim)
-		wire(m)
+		stk.Deliveries(m.observe)
 		for s := 0; s < sources; s++ {
 			src := w.RandomSource()
 			for p := 0; p < packets; p++ {
-				uid := send(src)
+				uid := stk.Send(src, 0, 512)
 				m.expect(uid, len(w.Members[0]))
 				w.Sim.RunUntil(w.Sim.Now() + 0.3)
 			}
 		}
 		w.Sim.RunUntil(w.Sim.Now() + 5)
-		stop()
+		stk.Stop()
 		return m
 	}
 	rows := parSweep(o, []string{"hvdb", "cbt"}, func(_ runner.Run, proto string) []string {
 		w := build()
-		var m *runMetrics
-		if proto == "hvdb" {
-			w.Start()
-			m = drive(w,
-				func(m *runMetrics) { w.MC.OnDeliver(m.observe) },
-				func(src network.NodeID) uint64 { return w.MC.Send(src, 0, 512) },
-				w.Stop)
-		} else {
-			p := must(w.Baseline(proto))
-			p.Start()
-			m = drive(w,
-				func(m *runMetrics) { p.OnDeliver(m.observe) },
-				func(src network.NodeID) uint64 { return p.Send(src, 0, 512) },
-				p.Stop)
-		}
+		m := drive(w, must(w.Protocol(proto)))
 		return loadRow(proto, w, m)
 	})
 	addRows(t, rows)
@@ -319,16 +305,10 @@ func ClaimScalability(o Options) []*Table {
 		spec.Mobility = scenario.Static
 
 		w := must(scenario.Build(spec))
-		if a.proto == "hvdb" {
-			w.Start()
-			w.Sim.RunUntil(horizon)
-			w.Stop()
-		} else {
-			p := must(w.Baseline(a.proto))
-			p.Start()
-			w.Sim.RunUntil(horizon)
-			p.Stop()
-		}
+		stk := must(w.Protocol(a.proto))
+		stk.Start()
+		w.Sim.RunUntil(horizon)
+		stk.Stop()
 		return F(controlPerNodeSecond(w, horizon))
 	})
 	for gi, g := range sizes {
@@ -456,20 +436,12 @@ func ClaimComparison(o Options) []*Table {
 			spec.Pause = 2
 		}
 		w := must(scenario.Build(spec))
-		var m *runMetrics
 		warm := scaleDur(12, o.Scale, 10)
-		if a.proto == "hvdb" {
-			w.Start()
-			w.WarmUp(warm)
-			m = hvdbTraffic(w, 0, packets, 512, 0.5)
-			w.Stop()
-		} else {
-			p := must(w.Baseline(a.proto))
-			p.Start()
-			w.WarmUp(warm)
-			m = baselineTraffic(w, p, membership.Group(0), packets, 512, 0.5)
-			p.Stop()
-		}
+		stk := must(w.Protocol(a.proto))
+		stk.Start()
+		w.WarmUp(warm)
+		m := stackTraffic(w, stk, 0, packets, 512, 0.5)
+		stk.Stop()
 		elapsed := w.Sim.Now() - warm
 		return cell{
 			pdr:   Pct(m.pdr()),
@@ -497,7 +469,6 @@ func ClaimComparison(o Options) []*Table {
 	}
 	pdrT.Note("flooding is the delivery upper bound; hvdb should stay close at far lower data cost")
 	ctlT.Note("dsm floods every node's position network-wide: the paper's non-scalable reference point")
-	_ = baseline.FloodKind
 	return []*Table{pdrT, delayT, ctlT, jainT}
 }
 

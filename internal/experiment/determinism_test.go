@@ -44,7 +44,7 @@ func runAndRender(t *testing.T, id string, o Options) string {
 // positionally (runner.DeriveSeed) and results are collected in run
 // order. The heavier sweeps are skipped with -short.
 func TestAllExperimentsQuick(t *testing.T) {
-	heavy := map[string]bool{"c3": true, "c5": true, "c6": true, "f5": true}
+	heavy := map[string]bool{"c3": true, "c5": true, "c6": true, "f5": true, "stress": true}
 	counts := []int{1, 4}
 	if n := runtime.NumCPU(); n != 1 && n != 4 && !testing.Short() {
 		counts = append(counts, n)

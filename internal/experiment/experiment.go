@@ -38,19 +38,20 @@ var registry = map[string]struct {
 	run   Runner
 	title string
 }{
-	"f1":    {Figure1, "HVDB model construction (Fig. 1)"},
-	"f2":    {Figure2, "8x8 VC / four 4-D hypercube decomposition (Fig. 2)"},
-	"f3":    {Figure3, "4-D hypercube label layout (Fig. 3)"},
-	"f4":    {Figure4, "proactive local logical route maintenance (Fig. 4)"},
-	"f5":    {Figure5, "summary-based membership update (Fig. 5)"},
-	"f6":    {Figure6, "logical location-based multicast routing (Fig. 6)"},
-	"c1":    {ClaimAvailability, "claim: high availability via disjoint paths"},
-	"c2":    {ClaimLoadBalance, "claim: load balancing vs tree-based backbone"},
-	"c3":    {ClaimScalability, "claim: control overhead scalability"},
-	"c4":    {ClaimDiameter, "claim: small diameter / few logical hops"},
-	"c5":    {ClaimComparison, "protocol comparison (PDR/delay/overhead)"},
-	"c6":    {ClaimChurn, "group dynamics: delivery under membership churn"},
-	"scale": {Scale, "simulator scale sweep up to 10,000-node worlds"},
+	"f1":     {Figure1, "HVDB model construction (Fig. 1)"},
+	"f2":     {Figure2, "8x8 VC / four 4-D hypercube decomposition (Fig. 2)"},
+	"f3":     {Figure3, "4-D hypercube label layout (Fig. 3)"},
+	"f4":     {Figure4, "proactive local logical route maintenance (Fig. 4)"},
+	"f5":     {Figure5, "summary-based membership update (Fig. 5)"},
+	"f6":     {Figure6, "logical location-based multicast routing (Fig. 6)"},
+	"c1":     {ClaimAvailability, "claim: high availability via disjoint paths"},
+	"c2":     {ClaimLoadBalance, "claim: load balancing vs tree-based backbone"},
+	"c3":     {ClaimScalability, "claim: control overhead scalability"},
+	"c4":     {ClaimDiameter, "claim: small diameter / few logical hops"},
+	"c5":     {ClaimComparison, "protocol comparison (PDR/delay/overhead)"},
+	"c6":     {ClaimChurn, "group dynamics: delivery under membership churn"},
+	"scale":  {Scale, "simulator scale sweep up to 10,000-node worlds"},
+	"stress": {Stress, "scripted stress scenarios: 6 protocol arms x 3 dynamic scripts"},
 }
 
 // IDs returns the registered experiment IDs in order.

@@ -7,7 +7,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"c1", "c2", "c3", "c4", "c5", "c6", "f1", "f2", "f3", "f4", "f5", "f6", "scale"}
+	want := []string{"c1", "c2", "c3", "c4", "c5", "c6", "f1", "f2", "f3", "f4", "f5", "f6", "scale", "stress"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs %v want %v", got, want)

@@ -307,8 +307,11 @@ func Figure5(o Options) []*Table {
 		spec.Mobility = scenario.Static
 
 		if a.plane != "hvdb" {
+			// Baseline planes are measured through their registry arm;
+			// the hvdb plane below is measured in isolation (membership
+			// service only), which the full-arm surface cannot express.
 			w := must(scenario.Build(spec))
-			p := must(w.Baseline(a.plane))
+			p := must(w.Protocol(a.plane))
 			w.Net.ResetTraffic()
 			p.Start()
 			w.Sim.RunUntil(horizon)
@@ -404,10 +407,11 @@ func Figure6(o Options) []*Table {
 		spec.MembersPerGroup = size
 		spec.Mobility = scenario.Static
 		w := must(scenario.Build(spec))
-		w.Start()
+		stk := must(w.Protocol("hvdb"))
+		stk.Start()
 		w.WarmUp(12)
-		m := hvdbTraffic(w, 0, packets, 512, 0.5)
-		w.Stop()
+		m := stackTraffic(w, stk, 0, packets, 512, 0.5)
+		stk.Stop()
 		return []string{I(size), Pct(m.pdr()), F(m.delays.Mean() * 1000), F(m.delays.Percentile(95) * 1000), F(m.hops.Mean())}
 	})
 	addRows(t, rows)

@@ -1,10 +1,10 @@
 package experiment
 
 import (
-	"repro/internal/baseline"
 	"repro/internal/des"
 	"repro/internal/membership"
 	"repro/internal/network"
+	"repro/internal/protocol"
 	"repro/internal/scenario"
 	"repro/internal/stats"
 )
@@ -23,7 +23,7 @@ func newRunMetrics(sim *des.Simulator) *runMetrics {
 	return &runMetrics{sim: sim, expected: make(map[uint64]int)}
 }
 
-// observe is wired into OnDeliver callbacks.
+// observe is wired into delivery observers.
 func (m *runMetrics) observe(_ network.NodeID, uid uint64, born des.Time, hops int) {
 	if _, ok := m.expected[uid]; !ok {
 		return // warm-up or foreign packet
@@ -52,32 +52,14 @@ func (m *runMetrics) pdr() float64 {
 	return float64(m.delivered) / float64(total)
 }
 
-// hvdbTraffic drives count CBR packets from one random source to group
-// g over the HVDB stack and returns the metrics after draining.
-func hvdbTraffic(w *scenario.World, g membership.Group, count, payload int, interval des.Duration) *runMetrics {
+// stackTraffic drives count CBR packets from one random source to group
+// g over any protocol arm and returns the metrics after draining.
+func stackTraffic(w *scenario.World, stk protocol.Stack, g membership.Group, count, payload int, interval des.Duration) *runMetrics {
 	m := newRunMetrics(w.Sim)
-	w.MC.OnDeliver(func(member network.NodeID, uid uint64, born des.Time, hops int) {
-		m.observe(member, uid, born, hops)
-	})
+	stk.Deliveries(m.observe)
 	src := w.RandomSource()
 	w.CBR(func() uint64 {
-		uid := w.MC.Send(src, g, payload)
-		m.expect(uid, len(w.Members[g]))
-		return uid
-	}, interval, count)
-	w.Sim.RunUntil(w.Sim.Now() + interval*des.Duration(count) + 5)
-	return m
-}
-
-// baselineTraffic drives the same workload over a baseline protocol.
-func baselineTraffic(w *scenario.World, p baseline.Protocol, g membership.Group, count, payload int, interval des.Duration) *runMetrics {
-	m := newRunMetrics(w.Sim)
-	p.OnDeliver(func(member network.NodeID, uid uint64, born des.Time, hops int) {
-		m.observe(member, uid, born, hops)
-	})
-	src := w.RandomSource()
-	w.CBR(func() uint64 {
-		uid := p.Send(src, baseline.Group(g), payload)
+		uid := stk.Send(src, g, payload)
 		m.expect(uid, len(w.Members[g]))
 		return uid
 	}, interval, count)

@@ -78,10 +78,11 @@ type scaleResult struct {
 // byte-identical tables at any worker count.
 func runScaleWorld(seed uint64, c scaleConfig) scaleResult {
 	w := must(scenario.Build(scaleSpec(seed, c)))
-	w.Start()
+	stk := must(w.Protocol("hvdb"))
+	stk.Start()
 	w.Sim.RunUntil(scaleWarm) // no traffic reset: ctrlPNS covers the whole run
-	m := hvdbTraffic(w, membership.Group(0), scalePackets, scalePayload, scaleGap)
-	w.Stop()
+	m := stackTraffic(w, stk, membership.Group(0), scalePackets, scalePayload, scaleGap)
+	stk.Stop()
 	return scaleResult{
 		total:    w.Net.Len(),
 		clusters: len(w.CM.Heads()),

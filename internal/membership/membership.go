@@ -141,6 +141,9 @@ type Service struct {
 
 	tickers []*des.Ticker
 
+	// roundSlots is sortedHeadSlots' reusable scratch.
+	roundSlots []logicalid.CHID
+
 	// HTBroadcasts counts designated-CH broadcasts for overhead
 	// experiments.
 	HTBroadcasts uint64
@@ -361,8 +364,9 @@ func (s *Service) LocalMembers(slot logicalid.CHID, g Group) []network.NodeID {
 // CHs within its hypercube.
 func (s *Service) MNTRound() {
 	scheme := s.bb.Scheme()
-	for vc, ch := range s.bb.Clusters().Heads() {
-		slot := logicalid.CHID(scheme.Grid().Index(vc))
+	for _, slot := range s.sortedHeadSlots() {
+		ch := s.bb.CHNodeOf(slot)
+		vc := scheme.Grid().FromIndex(int(slot))
 		place := scheme.PlaceOf(vc)
 		s.seq++
 		msg := &summaryMsg{Origin: slot, HID: place.HID, Seq: s.seq, Groups: s.MNTSummary(slot)}
@@ -372,6 +376,20 @@ func (s *Service) MNTRound() {
 		st.seenMNT[slot] = msg.Seq
 		s.floodMNT(slot, msg, ch)
 	}
+}
+
+// sortedHeadSlots returns the CH slots currently heading clusters in
+// slot order. Rounds iterate it instead of the Heads map so the
+// transmission sequence (and with it every sender's loss-stream draw
+// order) is identical across reruns.
+func (s *Service) sortedHeadSlots() []logicalid.CHID {
+	grid := s.bb.Scheme().Grid()
+	s.roundSlots = s.roundSlots[:0]
+	for vc := range s.bb.Clusters().Heads() {
+		s.roundSlots = append(s.roundSlots, logicalid.CHID(grid.Index(vc)))
+	}
+	sort.Slice(s.roundSlots, func(i, j int) bool { return s.roundSlots[i] < s.roundSlots[j] })
+	return s.roundSlots
 }
 
 // floodMNT forwards an MNT summary to intra-hypercube logical neighbors
@@ -483,8 +501,9 @@ func (s *Service) Designated(slot logicalid.CHID) bool {
 // designated, broadcasts the HT-Summary to all CHs in the network.
 func (s *Service) HTRound() {
 	scheme := s.bb.Scheme()
-	for vc, ch := range s.bb.Clusters().Heads() {
-		slot := logicalid.CHID(scheme.Grid().Index(vc))
+	for _, slot := range s.sortedHeadSlots() {
+		ch := s.bb.CHNodeOf(slot)
+		vc := scheme.Grid().FromIndex(int(slot))
 		place := scheme.PlaceOf(vc)
 		// Every CH folds its own hypercube into its MT view (step 5).
 		summary := s.HTSummary(slot)

@@ -22,6 +22,8 @@
 package multicast
 
 import (
+	"sort"
+
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/logicalid"
@@ -118,7 +120,7 @@ type Service struct {
 	seenSlot  map[uint64]map[logicalid.CHID]bool
 	seenLocal map[uint64]map[network.NodeID]bool
 
-	onDeliver DeliverFunc
+	onDeliver []DeliverFunc
 
 	// Counters for experiments.
 	Sent          uint64
@@ -159,8 +161,16 @@ func (s *Service) SetTracer(t trace.Tracer) {
 	s.tr = t
 }
 
-// OnDeliver registers the delivery observer.
-func (s *Service) OnDeliver(f DeliverFunc) { s.onDeliver = f }
+// OnDeliver registers an additional delivery observer; every observer
+// sees each delivery, in registration order. Observers live as long as
+// the service — a protocol arm built on this world (see
+// internal/protocol) registers one and multiplexes its own replaceable
+// slot on top, so arm observers and direct w.MC observers coexist.
+func (s *Service) OnDeliver(f DeliverFunc) {
+	if f != nil {
+		s.onDeliver = append(s.onDeliver, f)
+	}
+}
 
 // Send multicasts a payload of the given size from the source node to
 // the group (Figure 6 step 1). It returns the packet UID used in
@@ -263,7 +273,7 @@ func (s *Service) enterCube(slot logicalid.CHID, uid uint64, born des.Time, hdr 
 	s.seenCube[uid][hid] = true
 
 	// (1) Re-encapsulate toward next-hop hypercubes.
-	for child := range childrenHID(hdr.MeshTree, hid) {
+	for _, child := range childrenHID(hdr.MeshTree, hid) {
 		s.forwardToCube(slot, child, uid, born, hdr)
 	}
 
@@ -276,13 +286,17 @@ func (s *Service) enterCube(slot logicalid.CHID, uid uint64, born des.Time, hdr 
 	s.deliverLocal(slot, uid, born, cubeHdr)
 }
 
-func childrenHID(tree map[logicalid.HID]logicalid.HID, h logicalid.HID) map[logicalid.HID]bool {
-	out := make(map[logicalid.HID]bool)
+// childrenHID lists h's children in the mesh tree, in HID order:
+// forwarding order must not depend on map iteration, because every
+// transmission can draw from the sender's loss stream.
+func childrenHID(tree map[logicalid.HID]logicalid.HID, h logicalid.HID) []logicalid.HID {
+	var out []logicalid.HID
 	for child, parent := range tree {
 		if parent == h && child != h {
-			out[child] = true
+			out = append(out, child)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -378,12 +392,18 @@ func (s *Service) logicalTreeWithin(hid logicalid.HID, root logicalid.CHID, dest
 }
 
 // forwardWithinCube is Figure 6 step 5: push the packet down the
-// hypercube-tier tree along 1-logical-hop routes.
+// hypercube-tier tree along 1-logical-hop routes. Children forward in
+// slot order (not map order) so the senders' loss streams see a
+// deterministic transmission sequence.
 func (s *Service) forwardWithinCube(slot logicalid.CHID, uid uint64, born des.Time, hdr *header) {
+	var children []logicalid.CHID
 	for childSlot, parent := range hdr.CubeTree {
-		if parent != slot || childSlot == slot {
-			continue
+		if parent == slot && childSlot != slot {
+			children = append(children, childSlot)
 		}
+	}
+	sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+	for _, childSlot := range children {
 		if s.bb.CHNodeOf(childSlot) == network.NoNode {
 			continue // CH vanished since the tree was computed
 		}
@@ -482,8 +502,8 @@ func (s *Service) recordDelivery(member network.NodeID, uid uint64, born des.Tim
 	}
 	s.seenLocal[uid][member] = true
 	s.Delivered++
-	if s.onDeliver != nil {
-		s.onDeliver(member, uid, born, hdr.LogicalHops)
+	for _, f := range s.onDeliver {
+		f(member, uid, born, hdr.LogicalHops)
 	}
 }
 

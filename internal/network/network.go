@@ -238,6 +238,10 @@ type Network struct {
 	// Free lists for pooled packets and delivery records.
 	freePkts []*Packet
 	freeDel  []*delivery
+	// pktCheckedOut balances AcquirePacket against pool recycling; it
+	// must return to zero once the simulator drains (the leak check
+	// scenario integration tests assert at world teardown).
+	pktCheckedOut int
 }
 
 // cellKey addresses one cell of the dense grid.
@@ -766,8 +770,17 @@ func (w *Network) AcquirePacket() *Packet {
 	}
 	p.pooled = true
 	p.refs = 1
+	w.pktCheckedOut++
 	return p
 }
+
+// PooledInFlight returns how many pooled packets are currently checked
+// out of the pool — acquired by a caller or still referenced by
+// in-flight deliveries. Once every send has released its reference and
+// the simulator has drained, the balance is zero; a positive residue
+// after teardown is a leak (a handler retained a pooled packet, or a
+// Release call is missing).
+func (w *Network) PooledInFlight() int { return w.pktCheckedOut }
 
 // ReleasePacket drops the caller's reference to a packet obtained from
 // AcquirePacket. Calling it on nil or unpooled packets is a no-op, so
@@ -808,6 +821,7 @@ func (w *Network) unref(p *Packet) {
 		child := p.child
 		*p = Packet{}
 		w.freePkts = append(w.freePkts, p)
+		w.pktCheckedOut--
 		if child != nil {
 			w.ReleasePacket(child)
 		}

@@ -1,0 +1,121 @@
+package protocol_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/qos"
+	"repro/internal/scenario"
+)
+
+func TestNamesCoverAllArms(t *testing.T) {
+	want := []string{"cbt", "dsm", "flooding", "hvdb", "pbm", "spbm"}
+	if got := protocol.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v want %v", got, want)
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := protocol.Build("nope", protocol.Deps{}); err == nil {
+		t.Fatal("unknown arm should error")
+	}
+}
+
+func TestHVDBNeedsPlanes(t *testing.T) {
+	if _, err := protocol.Build("hvdb", protocol.Deps{}); err == nil {
+		t.Fatal("hvdb arm without planes should error")
+	}
+}
+
+// buildWorld wires a small static world for arm-level tests.
+func buildWorld(t *testing.T) *scenario.World {
+	t.Helper()
+	spec := scenario.DefaultSpec()
+	spec.Seed = 2
+	spec.Nodes = 60
+	spec.Groups = 1
+	spec.MembersPerGroup = 8
+	spec.Mobility = scenario.Static
+	w, err := scenario.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestStackContract drives every arm through the full Stack surface on
+// its own world and checks the uniform accounting: Sent counts
+// successful sends, Deliveries observes exactly what Stats().Delivered
+// counts, and members enrolled by the world actually receive.
+func TestStackContract(t *testing.T) {
+	for _, name := range protocol.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w := buildWorld(t)
+			stk, err := w.Protocol(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stk.Start()
+			w.WarmUp(12)
+
+			members := make(map[network.NodeID]bool)
+			for _, id := range w.Members[0] {
+				members[id] = true
+			}
+			observed := 0
+			stk.Deliveries(func(member network.NodeID, uid uint64, born des.Time, hops int) {
+				observed++
+				if !members[member] {
+					t.Errorf("delivery to non-member %d", member)
+				}
+			})
+			sends := 0
+			for i := 0; i < 4; i++ {
+				if stk.Send(w.RandomSource(), 0, 256) != 0 {
+					sends++
+				}
+				w.Sim.RunUntil(w.Sim.Now() + 1)
+			}
+			w.Sim.RunUntil(w.Sim.Now() + 5)
+			stk.Stop()
+
+			st := stk.Stats()
+			if int(st.Sent) != sends {
+				t.Fatalf("Stats().Sent = %d want %d", st.Sent, sends)
+			}
+			if int(st.Delivered) != observed {
+				t.Fatalf("Stats().Delivered = %d but observer saw %d", st.Delivered, observed)
+			}
+			if sends == 0 || observed == 0 {
+				t.Fatalf("arm moved no traffic (sends %d, deliveries %d)", sends, observed)
+			}
+		})
+	}
+}
+
+// TestHVDBQoSPlane checks the hvdb arm exposes its session-admission
+// plane through the QoSCapable surface.
+func TestHVDBQoSPlane(t *testing.T) {
+	w := buildWorld(t)
+	stk, err := w.Protocol("hvdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stk.Start()
+	w.WarmUp(12)
+	qc, ok := stk.(protocol.QoSCapable)
+	if !ok {
+		t.Fatal("hvdb arm should be QoSCapable")
+	}
+	if _, err := qc.QoS().Open(w.RandomSource(), 0, 50e3, qos.Soft); err != nil {
+		t.Fatalf("soft session: %v", err)
+	}
+	if got := stk.Stats().QoSAdmitted; got != 1 {
+		t.Fatalf("Stats().QoSAdmitted = %d want 1", got)
+	}
+	stk.Stop()
+}

@@ -1,0 +1,12 @@
+package qos
+
+import (
+	"repro/internal/logicalid"
+	"repro/internal/membership"
+	"repro/internal/network"
+)
+
+// TreeCHs exposes treeCHs to the external test package.
+func (m *Manager) TreeCHs(slot logicalid.CHID, g membership.Group) []network.NodeID {
+	return m.treeCHs(slot, g)
+}

@@ -210,6 +210,40 @@ func (m *Manager) release(s *Session) {
 	s.Reserved = nil
 }
 
+// Reconcile releases the reservations a session holds on CHs whose
+// backbone role has died mid-session — nodes that failed, or that lost
+// their cluster-head role to churn — so the reserved bandwidth returns
+// to the pool instead of leaking on a route that no longer exists. Both
+// hard and soft sessions are reconciled; a hard session that loses a
+// reservation degrades to partial coverage rather than being torn down
+// (the paper's soft-QoS argument: admission is a snapshot, dynamics
+// erode it). It returns the number of reservations released.
+func (m *Manager) Reconcile() int {
+	ids := make([]SessionID, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	released := 0
+	for _, id := range ids {
+		s := m.sessions[id]
+		kept := s.Reserved[:0]
+		for _, ch := range s.Reserved {
+			node := m.bb.Net().Node(ch)
+			if node != nil && node.Up() && m.bb.SlotOfNode(ch) >= 0 {
+				kept = append(kept, ch)
+				continue
+			}
+			if node != nil {
+				node.Cap.Release(s.Rate)
+			}
+			released++
+		}
+		s.Reserved = kept
+	}
+	return released
+}
+
 // Active returns the number of open sessions.
 func (m *Manager) Active() int { return len(m.sessions) }
 

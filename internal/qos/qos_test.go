@@ -1,15 +1,16 @@
-package qos
+package qos_test
 
 import (
 	"testing"
 
 	"repro/internal/logicalid"
 	"repro/internal/membership"
+	"repro/internal/qos"
 	"repro/internal/scenario"
 )
 
 // buildWorld wires a converged world with one group spanning two cubes.
-func buildWorld(t *testing.T) (*scenario.World, *Manager) {
+func buildWorld(t *testing.T) (*scenario.World, *qos.Manager) {
 	t.Helper()
 	spec := scenario.DefaultSpec()
 	spec.Seed = 5
@@ -23,14 +24,14 @@ func buildWorld(t *testing.T) (*scenario.World, *Manager) {
 	}
 	w.Start()
 	w.WarmUp(14)
-	return w, NewManager(w.BB, w.MS, w.MC)
+	return w, qos.NewManager(w.BB, w.MS, w.MC)
 }
 
 func TestHardAdmissionAndRelease(t *testing.T) {
 	w, m := buildWorld(t)
 	defer w.Stop()
 	src := w.RandomSource()
-	s, err := m.Open(src, 0, 100e3, Hard)
+	s, err := m.Open(src, 0, 100e3, qos.Hard)
 	if err != nil {
 		t.Fatalf("admission failed: %v", err)
 	}
@@ -65,7 +66,7 @@ func TestHardAdmissionExhaustsCapacity(t *testing.T) {
 	// two. Keep opening until rejection.
 	admitted := 0
 	for i := 0; i < 10; i++ {
-		if _, err := m.Open(src, 0, 4e6, Hard); err != nil {
+		if _, err := m.Open(src, 0, 4e6, qos.Hard); err != nil {
 			break
 		}
 		admitted++
@@ -87,13 +88,13 @@ func TestHardRejectionRollsBack(t *testing.T) {
 	src := w.RandomSource()
 	// Fill to rejection.
 	for i := 0; i < 10; i++ {
-		if _, err := m.Open(src, 0, 4e6, Hard); err != nil {
+		if _, err := m.Open(src, 0, 4e6, qos.Hard); err != nil {
 			break
 		}
 	}
 	utilAtReject := m.Utilization()
 	// Another rejected attempt must not leak reservations.
-	if _, err := m.Open(src, 0, 4e6, Hard); err == nil {
+	if _, err := m.Open(src, 0, 4e6, qos.Hard); err == nil {
 		t.Fatal("expected rejection")
 	}
 	if got := m.Utilization(); got != utilAtReject {
@@ -107,11 +108,11 @@ func TestSoftAdmissionAlwaysAdmits(t *testing.T) {
 	src := w.RandomSource()
 	// Saturate hard first.
 	for i := 0; i < 10; i++ {
-		if _, err := m.Open(src, 0, 4e6, Hard); err != nil {
+		if _, err := m.Open(src, 0, 4e6, qos.Hard); err != nil {
 			break
 		}
 	}
-	s, err := m.Open(src, 0, 4e6, Soft)
+	s, err := m.Open(src, 0, 4e6, qos.Soft)
 	if err != nil {
 		t.Fatalf("soft admission should not fail: %v", err)
 	}
@@ -123,7 +124,7 @@ func TestSoftAdmissionAlwaysAdmits(t *testing.T) {
 func TestImpossibleRateRejectedHard(t *testing.T) {
 	w, m := buildWorld(t)
 	defer w.Stop()
-	if _, err := m.Open(w.RandomSource(), 0, 1e12, Hard); err == nil {
+	if _, err := m.Open(w.RandomSource(), 0, 1e12, qos.Hard); err == nil {
 		t.Fatal("absurd rate admitted")
 	}
 }
@@ -133,7 +134,7 @@ func TestOpenFromDownSource(t *testing.T) {
 	defer w.Stop()
 	src := w.RandomSource()
 	w.Net.Node(src).Fail()
-	if _, err := m.Open(src, 0, 1000, Hard); err == nil {
+	if _, err := m.Open(src, 0, 1000, qos.Hard); err == nil {
 		t.Fatal("down source admitted")
 	}
 }
@@ -144,7 +145,7 @@ func TestTreeCHsSpanMemberCubes(t *testing.T) {
 	src := w.RandomSource()
 	grid := w.Grid
 	vc := grid.VCOf(w.Net.Node(src).TruePos())
-	chs := m.treeCHs(logicalid.CHID(grid.Index(vc)), membership.Group(0))
+	chs := m.TreeCHs(logicalid.CHID(grid.Index(vc)), membership.Group(0))
 	if len(chs) < 2 {
 		t.Fatalf("tree spans only %d CHs for an 8-member group", len(chs))
 	}

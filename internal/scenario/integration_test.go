@@ -82,6 +82,7 @@ func TestMemberMigratesAcrossHypercubes(t *testing.T) {
 	if deliveries != 2 {
 		t.Fatalf("delivery after migration failed: %d deliveries total", deliveries)
 	}
+	assertNoPacketLeaks(t, w)
 }
 
 // TestMulticastUnderContinuousMobility runs the full stack with every
@@ -124,6 +125,7 @@ func TestMulticastUnderContinuousMobility(t *testing.T) {
 	if pdr < 0.85 {
 		t.Fatalf("PDR %.2f under mobility below 0.85 (%d/%d)", pdr, delivered, expected)
 	}
+	assertNoPacketLeaks(t, w)
 }
 
 // TestBackboneSurvivesMassAnchorFailure: availability at system level —
@@ -178,4 +180,5 @@ func TestBackboneSurvivesMassAnchorFailure(t *testing.T) {
 		t.Fatalf("PDR %.2f of coverable members below 0.8 (%d/%d, %d of %d members coverable)",
 			pdr, delivered, sent*coverable, coverable, len(w.Members[0]))
 	}
+	assertNoPacketLeaks(t, w)
 }

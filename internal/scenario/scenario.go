@@ -2,13 +2,17 @@
 // population (heterogeneous capability per the paper's assumption),
 // mobility, the full HVDB protocol stack, group membership, traffic
 // generation, and failure injection. Experiments and examples build
-// worlds from a Spec instead of wiring packages by hand.
+// worlds from a Spec instead of wiring packages by hand, select
+// protocol arms by name through World.Protocol (internal/protocol),
+// and drive mid-run dynamics — churn bursts, traffic generators, radio
+// degradation, partitions — through the scripted scenario engine
+// (Script, World.RunScript).
 package scenario
 
 import (
 	"fmt"
+	"sort"
 
-	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/des"
@@ -19,6 +23,7 @@ import (
 	"repro/internal/mobility"
 	"repro/internal/multicast"
 	"repro/internal/network"
+	"repro/internal/protocol"
 	"repro/internal/radio"
 	"repro/internal/vcgrid"
 	"repro/internal/xrand"
@@ -263,31 +268,36 @@ func (w *World) FailRandomAnchors(count int) []network.NodeID {
 	return out
 }
 
-// Baseline instantiates a comparison protocol on this world's network
-// with the same group membership. Valid names: flooding, dsm, pbm,
-// spbm, cbt.
-func (w *World) Baseline(name string) (baseline.Protocol, error) {
-	var p baseline.Protocol
-	switch name {
-	case "flooding":
-		p = baseline.NewFlooding(w.Net, w.Mux)
-	case "dsm":
-		p = baseline.NewDSM(w.Net, w.Mux)
-	case "pbm":
-		p = baseline.NewPBM(w.Net, w.Mux)
-	case "spbm":
-		p = baseline.NewSPBM(w.Net, w.Mux)
-	case "cbt":
-		p = baseline.NewCBT(w.Net, w.Mux)
-	default:
-		return nil, fmt.Errorf("scenario: unknown baseline %q", name)
+// Protocol instantiates one registered protocol arm (see
+// internal/protocol) on this world and enrolls the world's preassigned
+// group members. Arm names: hvdb, flooding, dsm, pbm, spbm, cbt.
+// Building never transmits; call Start on the returned stack to launch
+// its control planes.
+func (w *World) Protocol(name string) (protocol.Stack, error) {
+	stk, err := protocol.Build(name, protocol.Deps{
+		Net: w.Net, Mux: w.Mux, CM: w.CM, BB: w.BB, MS: w.MS, MC: w.MC,
+	})
+	if err != nil {
+		return nil, err
 	}
-	for g, members := range w.Members {
-		for _, id := range members {
-			p.Join(id, baseline.Group(g))
+	// Enroll members in (group, assignment) order — deterministic, and
+	// idempotent for the hvdb arm (the world already joined them).
+	for _, g := range w.Groups() {
+		for _, id := range w.Members[g] {
+			stk.Join(id, g)
 		}
 	}
-	return p, nil
+	return stk, nil
+}
+
+// Groups returns the world's group IDs in ascending order.
+func (w *World) Groups() []membership.Group {
+	out := make([]membership.Group, 0, len(w.Members))
+	for g := range w.Members {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // RandomSource picks an ordinary node to originate traffic.

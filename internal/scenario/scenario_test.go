@@ -6,6 +6,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/membership"
 	"repro/internal/network"
+	"repro/internal/protocol"
 )
 
 func TestBuildDefault(t *testing.T) {
@@ -171,17 +172,17 @@ func TestFailRandomAnchors(t *testing.T) {
 	}
 }
 
-func TestBaselines(t *testing.T) {
+func TestProtocolArms(t *testing.T) {
 	spec := DefaultSpec()
 	spec.Nodes = 40
 	spec.Groups = 1
 	spec.MembersPerGroup = 5
-	for _, name := range []string{"flooding", "dsm", "pbm", "spbm", "cbt"} {
+	for _, name := range protocol.Names() {
 		w, err := Build(spec)
 		if err != nil {
 			t.Fatal(err)
 		}
-		p, err := w.Baseline(name)
+		p, err := w.Protocol(name)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -189,14 +190,19 @@ func TestBaselines(t *testing.T) {
 			t.Fatalf("name %q want %q", p.Name(), name)
 		}
 		p.Start()
+		if name == "hvdb" {
+			w.WarmUp(12) // the backbone needs convergence before sends start
+		}
 		uid := p.Send(w.RandomSource(), 0, 100)
 		w.Sim.RunUntil(w.Sim.Now() + 10)
 		p.Stop()
-		_ = uid // delivery depends on topology; Send must at least not panic
+		if uid != 0 && p.Stats().Sent == 0 {
+			t.Fatalf("%s: Stats().Sent not counted", name)
+		}
 	}
 	w, _ := Build(spec)
-	if _, err := w.Baseline("nope"); err == nil {
-		t.Fatal("unknown baseline should error")
+	if _, err := w.Protocol("nope"); err == nil {
+		t.Fatal("unknown protocol arm should error")
 	}
 }
 

@@ -1,0 +1,272 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Script is a deterministic timetable of directives applied to a
+// running world: mid-run dynamics (node churn, membership churn, radio
+// degradation, area partition) and traffic generation, all scheduled on
+// the discrete-event simulator. Scripts are plain data — experiments
+// tweak copies of the built-in ones, and cmd/hvdbsim loads them from
+// JSON files (see ParseScript for the grammar).
+type Script struct {
+	// Name labels the script in experiment output.
+	Name string `json:"name"`
+	// Directives is the timetable; entries may overlap freely.
+	Directives []Directive `json:"directives"`
+}
+
+// Directive kinds.
+const (
+	// KindNodeChurn is a node churn burst: every Period seconds within
+	// [At, At+Duration], Count random up ordinary nodes fail and nodes
+	// killed two ticks earlier recover; everything still down recovers
+	// at the window end.
+	KindNodeChurn = "node-churn"
+	// KindMemberChurn is a membership churn wave: every Period seconds
+	// within the window, Count members of Group leave (lowest IDs first,
+	// deterministically) and Count non-members join.
+	KindMemberChurn = "member-churn"
+	// KindTraffic starts a traffic generator (see the Pattern* patterns)
+	// sending Packets payloads of Payload bytes to Group.
+	KindTraffic = "traffic"
+	// KindRadioLoss raises every radio's loss probability to at least
+	// Loss for the window, restoring the original values afterwards.
+	KindRadioLoss = "radio-loss"
+	// KindPartition fails every node inside a vertical strip covering
+	// Frac of the arena width (centered) for the window, then recovers
+	// them — an impassable band of terrain splitting the arena.
+	KindPartition = "partition"
+)
+
+// Traffic patterns of KindTraffic directives.
+const (
+	// PatternCBR sends at fixed Interval gaps starting at At; a
+	// non-zero Duration bounds the stream even if Packets remain.
+	PatternCBR = "cbr"
+	// PatternPoisson sends with exponentially distributed gaps of mean
+	// Interval, stopping after Packets sends or at At+Duration.
+	PatternPoisson = "poisson"
+	// PatternOnOff alternates on/off phases of Period seconds, sending
+	// at Interval gaps while on, until Packets sends or At+Duration.
+	PatternOnOff = "onoff"
+	// PatternFlash is a flash crowd: Count sources each send Packets
+	// payloads at Interval gaps, starting at staggered offsets within
+	// [At, At+Duration/2].
+	PatternFlash = "flash"
+)
+
+// Directive is one timed action of a script. Which fields apply depends
+// on Kind (see the Kind and Pattern constants); Validate enforces the
+// per-kind requirements.
+type Directive struct {
+	// At is the start time in simulated seconds, relative to the instant
+	// the script starts running.
+	At float64 `json:"at"`
+	// Kind selects the action.
+	Kind string `json:"kind"`
+	// Duration is the window length in seconds (churn, loss, partition,
+	// bounded traffic patterns).
+	Duration float64 `json:"duration,omitempty"`
+	// Period is the repeat interval within the window (churn ticks,
+	// on/off phase length).
+	Period float64 `json:"period,omitempty"`
+	// Count sizes bursts: nodes per churn tick, members per wave, flash
+	// sources.
+	Count int `json:"count,omitempty"`
+	// Group is the multicast group of traffic and membership directives.
+	Group int `json:"group,omitempty"`
+	// Pattern selects the traffic generator.
+	Pattern string `json:"pattern,omitempty"`
+	// Interval is the (mean) inter-send gap of a traffic generator.
+	Interval float64 `json:"interval,omitempty"`
+	// Packets is how many payloads a generator (or each flash source)
+	// sends; Payload their size in bytes.
+	Packets int `json:"packets,omitempty"`
+	Payload int `json:"payload,omitempty"`
+	// Loss is the per-transmission loss probability of a radio-loss
+	// window.
+	Loss float64 `json:"loss,omitempty"`
+	// Frac is the arena-width fraction of a partition strip (default
+	// 0.25 when zero).
+	Frac float64 `json:"frac,omitempty"`
+}
+
+// Validate checks one directive's per-kind requirements.
+func (d *Directive) Validate() error {
+	if d.At < 0 {
+		return fmt.Errorf("directive %q: negative start %g", d.Kind, d.At)
+	}
+	switch d.Kind {
+	case KindNodeChurn, KindMemberChurn:
+		if d.Count <= 0 || d.Period <= 0 || d.Duration <= 0 {
+			return fmt.Errorf("%s: needs count, period, duration > 0", d.Kind)
+		}
+		if d.Period > d.Duration {
+			// At least one tick must fit, and the window-end heal (one
+			// period after the last tick) must land inside the script
+			// horizon — otherwise victims would outlive the run.
+			return fmt.Errorf("%s: period %g exceeds duration %g", d.Kind, d.Period, d.Duration)
+		}
+		if d.Kind == KindMemberChurn && d.Group < 0 {
+			return fmt.Errorf("member-churn: negative group %d", d.Group)
+		}
+	case KindTraffic:
+		if d.Group < 0 {
+			return fmt.Errorf("traffic: negative group %d", d.Group)
+		}
+		if d.Packets <= 0 || d.Interval <= 0 {
+			return fmt.Errorf("traffic: needs packets, interval > 0")
+		}
+		if d.Payload <= 0 {
+			return fmt.Errorf("traffic: needs payload > 0")
+		}
+		switch d.Pattern {
+		case PatternCBR:
+		case PatternPoisson:
+			if d.Duration <= 0 {
+				return fmt.Errorf("traffic/poisson: needs duration > 0")
+			}
+		case PatternOnOff:
+			if d.Duration <= 0 || d.Period <= 0 {
+				return fmt.Errorf("traffic/onoff: needs period, duration > 0")
+			}
+		case PatternFlash:
+			if d.Duration <= 0 || d.Count <= 0 {
+				return fmt.Errorf("traffic/flash: needs count, duration > 0")
+			}
+		default:
+			return fmt.Errorf("traffic: unknown pattern %q (have cbr, poisson, onoff, flash)", d.Pattern)
+		}
+	case KindRadioLoss:
+		if d.Loss <= 0 || d.Loss > 1 || d.Duration <= 0 {
+			return fmt.Errorf("radio-loss: needs 0 < loss <= 1 and duration > 0")
+		}
+	case KindPartition:
+		if d.Duration <= 0 {
+			return fmt.Errorf("partition: needs duration > 0")
+		}
+		if d.Frac < 0 || d.Frac >= 1 {
+			return fmt.Errorf("partition: frac %g outside [0, 1)", d.Frac)
+		}
+	default:
+		return fmt.Errorf("unknown directive kind %q (have %s)", d.Kind,
+			strings.Join([]string{KindNodeChurn, KindMemberChurn, KindTraffic, KindRadioLoss, KindPartition}, ", "))
+	}
+	return nil
+}
+
+// end returns when the directive's last effect fires (relative time).
+func (d *Directive) end() float64 {
+	switch d.Kind {
+	case KindTraffic:
+		switch d.Pattern {
+		case PatternCBR:
+			if d.Duration > 0 {
+				return d.At + d.Duration
+			}
+			return d.At + d.Interval*float64(d.Packets)
+		case PatternFlash:
+			return d.At + d.Duration + d.Interval*float64(d.Packets)
+		default:
+			return d.At + d.Duration
+		}
+	default:
+		return d.At + d.Duration
+	}
+}
+
+// Validate checks the whole script.
+func (s *Script) Validate() error {
+	if len(s.Directives) == 0 {
+		return fmt.Errorf("script %q has no directives", s.Name)
+	}
+	for i := range s.Directives {
+		if err := s.Directives[i].Validate(); err != nil {
+			return fmt.Errorf("script %q directive %d: %w", s.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// Horizon returns the relative time of the script's last effect.
+func (s *Script) Horizon() float64 {
+	var h float64
+	for i := range s.Directives {
+		if e := s.Directives[i].end(); e > h {
+			h = e
+		}
+	}
+	return h
+}
+
+// ParseScript decodes a script from its JSON form and validates it.
+// The grammar is the Script/Directive field set, e.g.:
+//
+//	{
+//	  "name": "churn-storm",
+//	  "directives": [
+//	    {"at": 0, "kind": "traffic", "pattern": "cbr",
+//	     "group": 0, "interval": 0.5, "packets": 30, "payload": 512},
+//	    {"at": 2, "kind": "node-churn", "count": 3, "period": 1, "duration": 15}
+//	  ]
+//	}
+func ParseScript(data []byte) (*Script, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Script
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: bad script: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: bad script: trailing data after the JSON object")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return &s, nil
+}
+
+// BuiltinScripts lists the names of the built-in stress scenarios.
+func BuiltinScripts() []string {
+	return []string{"churn-storm", "flash-crowd", "partition-heal"}
+}
+
+// BuiltinScript returns a fresh copy of one built-in stress scenario:
+//
+//   - churn-storm: CBR plus bursty on/off traffic while node churn and
+//     membership churn run concurrently.
+//   - flash-crowd: a Poisson background stream, then a flash crowd of
+//     simultaneous senders.
+//   - partition-heal: CBR through a radio-degradation window and an
+//     area partition that heals before the stream ends.
+func BuiltinScript(name string) (*Script, error) {
+	var s *Script
+	switch name {
+	case "churn-storm":
+		s = &Script{Name: name, Directives: []Directive{
+			{At: 0, Kind: KindTraffic, Pattern: PatternCBR, Group: 0, Interval: 0.5, Packets: 30, Payload: 512},
+			{At: 1, Kind: KindTraffic, Pattern: PatternOnOff, Group: 0, Interval: 0.4, Period: 3, Duration: 18, Packets: 15, Payload: 256},
+			{At: 2, Kind: KindNodeChurn, Count: 3, Period: 1, Duration: 12},
+			{At: 2, Kind: KindMemberChurn, Group: 0, Count: 1, Period: 2, Duration: 12},
+		}}
+	case "flash-crowd":
+		s = &Script{Name: name, Directives: []Directive{
+			{At: 0, Kind: KindTraffic, Pattern: PatternPoisson, Group: 0, Interval: 1, Duration: 20, Packets: 15, Payload: 512},
+			{At: 6, Kind: KindTraffic, Pattern: PatternFlash, Group: 0, Count: 6, Duration: 4, Interval: 0.25, Packets: 5, Payload: 256},
+		}}
+	case "partition-heal":
+		s = &Script{Name: name, Directives: []Directive{
+			{At: 0, Kind: KindTraffic, Pattern: PatternCBR, Group: 0, Interval: 0.5, Packets: 40, Payload: 512},
+			{At: 3, Kind: KindRadioLoss, Loss: 0.15, Duration: 6},
+			{At: 8, Kind: KindPartition, Frac: 0.25, Duration: 7},
+		}}
+	default:
+		return nil, fmt.Errorf("scenario: unknown built-in script %q (have %v)", name, BuiltinScripts())
+	}
+	return s, nil
+}
