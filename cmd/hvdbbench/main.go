@@ -8,6 +8,8 @@
 //	hvdbbench -parallel 8   # fan runs over 8 workers (same tables)
 //	hvdbbench -list         # list experiment IDs
 //	hvdbbench -json         # scale benchmark -> BENCH_scale.json
+//	hvdbbench -perfsmoke    # N=1000 point vs committed baseline (CI gate)
+//	hvdbbench -cpuprofile cpu.pprof -exp scale   # profile a run
 //
 // Independent runs inside each experiment (trials, sweep points,
 // protocol arms) are fanned across -parallel workers; per-run seeds are
@@ -16,8 +18,17 @@
 //
 // -json runs the scale sweep (N up to 10,000 nodes at full size)
 // serially, measuring wall-clock and allocations per population, and
-// writes the machine-readable baseline to BENCH_scale.json so future
+// writes the machine-readable baseline to BENCH_scale.json — stamped
+// with the Go version and GOMAXPROCS it was measured under — so future
 // changes have a perf trajectory to compare against.
+//
+// -perfsmoke re-measures only the N=1000 sweep point and compares it
+// against the committed BENCH_scale.json: a determinism drift (event
+// count mismatch) or an events/sec regression beyond the tolerance
+// fails the process, which is what the CI perf-smoke job runs.
+//
+// Unknown flags and stray positional arguments exit with status 2 and
+// usage, matching the hvdbsim/hvdbmap convention.
 package main
 
 import (
@@ -27,28 +38,49 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiment"
 )
 
-// benchFile is where -json writes the scale baseline.
+// benchFile is where -json writes (and -perfsmoke reads) the scale
+// baseline.
 const benchFile = "BENCH_scale.json"
+
+// perfSmokeNodes and perfSmokeTolerance define the CI regression gate:
+// the N=1000 sweep point must stay within 25% of the committed
+// events/sec (wall-clock measures on shared runners are noisy; real
+// kernel regressions at this size are well beyond 25%).
+const (
+	perfSmokeNodes     = 1000
+	perfSmokeTolerance = 0.25
+)
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("hvdbbench: ")
 
 	var (
-		exp      = flag.String("exp", "", "experiment ID to run (default: all)")
-		quick    = flag.Bool("quick", false, "run reduced configurations")
-		seed     = flag.Uint64("seed", 1, "PRNG seed")
-		parallel = flag.Int("parallel", 0, "max concurrent runs per experiment (0 = GOMAXPROCS); tables are identical at every setting")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		jsonOut  = flag.Bool("json", false, "run the scale benchmark and write "+benchFile)
+		exp        = flag.String("exp", "", "experiment ID to run (default: all)")
+		quick      = flag.Bool("quick", false, "run reduced configurations")
+		seed       = flag.Uint64("seed", 1, "PRNG seed")
+		parallel   = flag.Int("parallel", 0, "max concurrent runs per experiment (0 = GOMAXPROCS); tables are identical at every setting")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut    = flag.Bool("json", false, "run the scale benchmark and write "+benchFile)
+		perfSmoke  = flag.Bool("perfsmoke", false, "re-measure the N=1000 scale point and fail on regression against "+benchFile)
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// flag stops parsing at the first positional argument, so a typo
+		// like `-json -quikc` would otherwise be silently ignored.
+		fmt.Fprintf(os.Stderr, "hvdbbench: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, id := range experiment.IDs() {
@@ -57,12 +89,47 @@ func main() {
 		return
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProfile == "" {
+			return
+		}
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}()
+
 	opts := experiment.DefaultOptions()
 	if *quick {
 		opts = experiment.QuickOptions()
 	}
 	opts.Seed = *seed
 	opts.Workers = *parallel
+
+	if *perfSmoke {
+		if *exp != "" || *csv || *jsonOut {
+			log.Fatal("-perfsmoke runs only the N=1000 scale point; it cannot combine with -exp, -csv, or -json")
+		}
+		if err := runPerfSmoke(opts); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *jsonOut {
 		if *exp != "" || *csv {
@@ -100,6 +167,7 @@ func main() {
 type scaleBenchDoc struct {
 	Seed       uint64                  `json:"seed"`
 	Scale      float64                 `json:"scale"`
+	GoVersion  string                  `json:"go_version"`
 	GoMaxProcs int                     `json:"go_max_procs"`
 	Points     []experiment.ScalePoint `json:"points"`
 }
@@ -110,6 +178,7 @@ func writeScaleBench(opts experiment.Options) {
 	doc := scaleBenchDoc{
 		Seed:       opts.Seed,
 		Scale:      opts.Scale,
+		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Points:     points,
 	}
@@ -125,4 +194,54 @@ func writeScaleBench(opts experiment.Options) {
 			p.Nodes, p.TotalNodes, p.Events, p.EventsPerSec, p.AllocsPerEvent, 100*p.DeliveryRatio)
 	}
 	fmt.Printf("wrote %s\n", benchFile)
+}
+
+// runPerfSmoke measures the N=1000 sweep point and compares it against
+// the committed baseline. The event count must match exactly (it is
+// deterministic; a mismatch means the kernel changed behavior, not just
+// speed) and events/sec must stay within perfSmokeTolerance.
+func runPerfSmoke(opts experiment.Options) error {
+	buf, err := os.ReadFile(benchFile)
+	if err != nil {
+		return fmt.Errorf("reading committed baseline: %w", err)
+	}
+	var doc scaleBenchDoc
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return fmt.Errorf("parsing %s: %w", benchFile, err)
+	}
+	var committed *experiment.ScalePoint
+	for i := range doc.Points {
+		if doc.Points[i].Nodes == perfSmokeNodes {
+			committed = &doc.Points[i]
+			break
+		}
+	}
+	if committed == nil {
+		return fmt.Errorf("%s has no N=%d point", benchFile, perfSmokeNodes)
+	}
+	opts.Seed = doc.Seed
+	opts.Scale = doc.Scale
+	if doc.GoVersion != "" && doc.GoVersion != runtime.Version() {
+		log.Printf("warning: baseline recorded with %s, measuring with %s — wall-clock comparison crosses toolchains", doc.GoVersion, runtime.Version())
+	}
+	if doc.GoMaxProcs != 0 && doc.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		log.Printf("warning: baseline recorded at GOMAXPROCS=%d, measuring at %d", doc.GoMaxProcs, runtime.GOMAXPROCS(0))
+	}
+	measured, err := experiment.ScaleBenchN(opts, perfSmokeNodes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("N=%d: measured %8.0f events/s (%d events), committed %8.0f events/s (%d events), tolerance %.0f%%\n",
+		perfSmokeNodes, measured.EventsPerSec, measured.Events,
+		committed.EventsPerSec, committed.Events, 100*perfSmokeTolerance)
+	if measured.Events != committed.Events {
+		return fmt.Errorf("determinism drift: measured %d events, committed %d — regenerate %s and re-record the experiment tables",
+			measured.Events, committed.Events, benchFile)
+	}
+	if floor := committed.EventsPerSec * (1 - perfSmokeTolerance); measured.EventsPerSec < floor {
+		return fmt.Errorf("perf regression: %0.f events/s is below the %.0f floor (committed %.0f - %.0f%%)",
+			measured.EventsPerSec, floor, committed.EventsPerSec, 100*perfSmokeTolerance)
+	}
+	fmt.Println("perf smoke OK")
+	return nil
 }

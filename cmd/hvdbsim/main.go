@@ -253,7 +253,7 @@ func runTrial(spec scenario.Spec, cfg trialConfig, traceCat string, verbose bool
 	res.dataBytes = st.DataBytes
 	res.jain = stats.JainIndex(w.Net.ForwardLoads())
 	for _, n := range w.Net.Nodes() {
-		j := radio.DefaultEnergy.Consumed(n.TxBytes, n.RxBytes)
+		j := radio.DefaultEnergy.Consumed(n.TxBytes, n.RxBytes())
 		res.energyJ += j
 		if j > res.energyMaxJ {
 			res.energyMaxJ = j

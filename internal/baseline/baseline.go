@@ -29,8 +29,6 @@
 package baseline
 
 import (
-	"sort"
-
 	"repro/internal/des"
 	"repro/internal/network"
 )
@@ -169,14 +167,7 @@ func prunedTree(parent map[network.NodeID]network.NodeID, root network.NodeID, d
 // depend on map iteration (each send may draw from the sender's loss
 // stream).
 func childrenOf(tree map[network.NodeID]network.NodeID, u network.NodeID) []network.NodeID {
-	var out []network.NodeID
-	for child, parent := range tree {
-		if parent == u && child != u {
-			out = append(out, child)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return network.Children(tree, u, nil)
 }
 
 // sortedMembers returns the IDs with at least one joined group, in ID
@@ -189,6 +180,5 @@ func (m *membershipStore) sortedMembers() []network.NodeID {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return network.SortedIDs(out)
 }

@@ -89,6 +89,7 @@ type Manager struct {
 	tr   trace.Tracer
 
 	chByVC   map[vcgrid.VC]network.NodeID
+	chBySlot []network.NodeID // dense CHOf mirror of chByVC, by VC index
 	vcByNode []vcgrid.VC
 	isCH     []bool
 	onChange []ChangeFunc
@@ -116,15 +117,20 @@ func NewManager(net *network.Network, grid *vcgrid.Grid, cfg Config) *Manager {
 	if cfg.Period <= 0 {
 		cfg = DefaultConfig()
 	}
-	return &Manager{
+	m := &Manager{
 		net:      net,
 		grid:     grid,
 		cfg:      cfg,
 		tr:       trace.Nop,
 		chByVC:   make(map[vcgrid.VC]network.NodeID),
+		chBySlot: make([]network.NodeID, grid.Count()),
 		vcByNode: make([]vcgrid.VC, net.Len()),
 		isCH:     make([]bool, net.Len()),
 	}
+	for i := range m.chBySlot {
+		m.chBySlot[i] = network.NoNode
+	}
+	return m
 }
 
 // SetTracer installs a tracer; nil resets to no-op.
@@ -241,6 +247,14 @@ func (m *Manager) Elect() {
 		}
 	}
 	m.chByVC = newCH
+	// Rebuild the dense CHOf mirror (hot lookups read it instead of
+	// hashing a 16-byte VC key per call).
+	for i := range m.chBySlot {
+		m.chBySlot[i] = network.NoNode
+	}
+	for vc, id := range newCH {
+		m.chBySlot[m.grid.Index(vc)] = id
+	}
 	if m.changes != changesBefore {
 		m.version++ // a new CH assignment took effect
 	}
@@ -257,10 +271,10 @@ func better(s1, d1 float64, id1 int, s2, d2 float64, id2 int) bool {
 }
 
 func (m *Manager) chOr(vc vcgrid.VC) network.NodeID {
-	if id, ok := m.chByVC[vc]; ok {
-		return id
+	if !m.grid.Valid(vc) {
+		return network.NoNode
 	}
-	return network.NoNode
+	return m.chBySlot[m.grid.Index(vc)]
 }
 
 func (m *Manager) notify(vc vcgrid.VC, old, new network.NodeID) {

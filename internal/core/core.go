@@ -27,8 +27,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/cluster"
 	"repro/internal/des"
 	"repro/internal/georoute"
@@ -126,6 +124,7 @@ type Backbone struct {
 	geo    *georoute.Router
 	cfg    Config
 	tr     trace.Tracer
+	trOn   bool // gates per-beacon trace calls (arg boxing allocates)
 
 	tables map[logicalid.CHID]*routeTable
 	inner  *network.Mux // dispatch for logically-routed inner packets
@@ -177,6 +176,7 @@ func (b *Backbone) SetTracer(t trace.Tracer) {
 		t = trace.Nop
 	}
 	b.tr = t
+	b.trOn = t != trace.Nop
 	b.geo.SetTracer(t)
 }
 
@@ -300,7 +300,7 @@ func (b *Backbone) LogicalNeighbors(slot logicalid.CHID) []logicalid.CHID {
 	for _, nb := range hypercube.AllNeighbors(place.HNID, b.scheme.Dim()) {
 		add(b.scheme.VCAt(place.HID, nb))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	out = network.SortedIDs(out)
 	e.stamp = stamp
 	e.ids = out
 	return out
@@ -340,7 +340,7 @@ func (b *Backbone) BeaconRound() {
 	for vc := range b.cm.Heads() {
 		b.beaconSlots = append(b.beaconSlots, logicalid.CHID(b.scheme.Grid().Index(vc)))
 	}
-	sort.Slice(b.beaconSlots, func(i, j int) bool { return b.beaconSlots[i] < b.beaconSlots[j] })
+	b.beaconSlots = network.SortedIDs(b.beaconSlots)
 	for _, slot := range b.beaconSlots {
 		ch := b.CHNodeOf(slot)
 		entries := b.exportEntries(slot, now)
@@ -428,8 +428,10 @@ func (b *Backbone) onBeacon(n *network.Node, _ network.NodeID, pkt *network.Pack
 			Expires:   now + b.cfg.RouteTTL,
 		}, b.cfg.MaxRoutesPerDest)
 	}
-	b.tr.Eventf(trace.Routes, float64(now), "slot %d absorbed beacon from %d (%d entries)",
-		slot, payload.FromSlot, len(payload.Entries))
+	if b.trOn {
+		b.tr.Eventf(trace.Routes, float64(now), "slot %d absorbed beacon from %d (%d entries)",
+			slot, payload.FromSlot, len(payload.Entries))
+	}
 }
 
 // update inserts or refreshes a route, keeping at most maxRoutes routes

@@ -10,6 +10,7 @@ package experiment
 // BENCH_scale.json baseline emitted by `hvdbbench -json`.
 
 import (
+	"fmt"
 	"runtime"
 	"time"
 
@@ -140,39 +141,64 @@ type ScalePoint struct {
 // wall-clock and allocation deltas are attributable) and returns the
 // per-population performance baseline.
 func ScaleBench(o Options) []ScalePoint {
+	var out []ScalePoint
+	for i, c := range scaleConfigs(normalizeScaleOpts(o)) {
+		out = append(out, benchScalePoint(o, i, c))
+	}
+	return out
+}
+
+// ScaleBenchN runs the single sweep point with the given mobile-node
+// population — the CI perf-smoke gate measures just the N=1000 world.
+// The point's seed is derived from its position in the full sweep, so
+// the measured world is identical to that row of ScaleBench (and to the
+// committed BENCH_scale.json entry).
+func ScaleBenchN(o Options, nodes int) (ScalePoint, error) {
+	for i, c := range scaleConfigs(normalizeScaleOpts(o)) {
+		if c.nodes == nodes {
+			return benchScalePoint(o, i, c), nil
+		}
+	}
+	return ScalePoint{}, fmt.Errorf("experiment: no scale sweep point with %d nodes", nodes)
+}
+
+func normalizeScaleOpts(o Options) Options {
 	if o.Scale <= 0 {
 		o.Scale = 1
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
-	var out []ScalePoint
-	for i, c := range scaleConfigs(o) {
-		seed := runner.DeriveSeed(o.Seed, i)
-		runtime.GC()
-		var m0, m1 runtime.MemStats
-		runtime.ReadMemStats(&m0)
-		start := time.Now()
-		res := runScaleWorld(seed, c)
-		wall := time.Since(start).Seconds()
-		runtime.ReadMemStats(&m1)
-		p := ScalePoint{
-			Nodes:         c.nodes,
-			TotalNodes:    res.total,
-			ArenaM:        c.arena,
-			SimSeconds:    float64(res.simEnd),
-			Events:        res.events,
-			DeliveryRatio: res.m.pdr(),
-			WallSeconds:   wall,
-		}
-		if wall > 0 {
-			p.EventsPerSec = float64(res.events) / wall
-		}
-		if res.events > 0 {
-			p.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(res.events)
-			p.BytesPerEvent = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(res.events)
-		}
-		out = append(out, p)
+	return o
+}
+
+// benchScalePoint measures one sweep point: deterministic world
+// outcomes plus wall-clock and allocation deltas around the run.
+func benchScalePoint(o Options, i int, c scaleConfig) ScalePoint {
+	o = normalizeScaleOpts(o)
+	seed := runner.DeriveSeed(o.Seed, i)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	res := runScaleWorld(seed, c)
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	p := ScalePoint{
+		Nodes:         c.nodes,
+		TotalNodes:    res.total,
+		ArenaM:        c.arena,
+		SimSeconds:    float64(res.simEnd),
+		Events:        res.events,
+		DeliveryRatio: res.m.pdr(),
+		WallSeconds:   wall,
 	}
-	return out
+	if wall > 0 {
+		p.EventsPerSec = float64(res.events) / wall
+	}
+	if res.events > 0 {
+		p.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(res.events)
+		p.BytesPerEvent = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(res.events)
+	}
+	return p
 }

@@ -82,6 +82,13 @@ type Router struct {
 
 	consumers       map[string]DeliverFunc
 	fallbackDeliver DeliverFunc
+	// One-entry caches over the two per-packet string-keyed lookups
+	// (consumer dispatch, envelope-kind interning): traffic arrives in
+	// same-kind bursts, so most resolve with one short string compare.
+	lastConsKind string
+	lastCons     DeliverFunc
+	lastEnvIn    string
+	lastEnvOut   string
 	// Delivered/Dropped count inner packets for experiments.
 	Delivered uint64
 	Dropped   uint64
@@ -132,7 +139,10 @@ func Attach(net *network.Network, mux *network.Mux) *Router {
 
 // Deliver registers the consumer for inner packets of the given kind,
 // replacing any previous registration.
-func (r *Router) Deliver(kind string, fn DeliverFunc) { r.consumers[kind] = fn }
+func (r *Router) Deliver(kind string, fn DeliverFunc) {
+	r.consumers[kind] = fn
+	r.lastConsKind, r.lastCons = "", nil
+}
 
 // DeliverFallback registers the consumer for inner kinds with no exact
 // registration.
@@ -192,11 +202,15 @@ func (r *Router) envKind(inner string) string {
 	if inner == "" {
 		return Kind
 	}
+	if inner == r.lastEnvIn {
+		return r.lastEnvOut
+	}
 	k, ok := r.envKinds[inner]
 	if !ok {
 		k = KindPrefix + inner
 		r.envKinds[inner] = k
 	}
+	r.lastEnvIn, r.lastEnvOut = inner, k
 	return k
 }
 
@@ -296,8 +310,13 @@ func (r *Router) consume(n *network.Node, h *Header) {
 	if r.trOn {
 		r.tr.Eventf(trace.Routes, float64(r.net.Sim().Now()), "geo delivered %s uid=%d at %d", h.Inner.Kind, h.Inner.UID, n.ID)
 	}
-	fn, ok := r.consumers[h.Inner.Kind]
-	if !ok {
+	var fn DeliverFunc
+	if h.Inner.Kind == r.lastConsKind && r.lastCons != nil {
+		fn = r.lastCons
+	} else if cfn, ok := r.consumers[h.Inner.Kind]; ok {
+		r.lastConsKind, r.lastCons = h.Inner.Kind, cfn
+		fn = cfn
+	} else {
 		fn = r.fallbackDeliver
 	}
 	if fn != nil {

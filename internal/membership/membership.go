@@ -133,6 +133,10 @@ type Service struct {
 	bb  *core.Backbone
 	cfg Config
 	tr  trace.Tracer
+	// trOn gates the per-merge trace calls: formatting arguments box
+	// into an interface slice even when the tracer is Nop, and the MT
+	// merge runs once per received summary.
+	trOn bool
 
 	joined   []map[Group]bool // by node ID
 	reported []bool           // nodes that sent a non-empty report last round
@@ -174,6 +178,7 @@ func (s *Service) SetTracer(t trace.Tracer) {
 		t = trace.Nop
 	}
 	s.tr = t
+	s.trOn = t != trace.Nop
 }
 
 // grow ensures per-node state covers nodes added after construction.
@@ -356,8 +361,7 @@ func (s *Service) LocalMembers(slot logicalid.CHID, g Group) []network.NodeID {
 			out = append(out, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return network.SortedIDs(out)
 }
 
 // MNTRound is Figure 5 step 3: every CH floods its MNT-Summary to all
@@ -388,7 +392,7 @@ func (s *Service) sortedHeadSlots() []logicalid.CHID {
 	for vc := range s.bb.Clusters().Heads() {
 		s.roundSlots = append(s.roundSlots, logicalid.CHID(grid.Index(vc)))
 	}
-	sort.Slice(s.roundSlots, func(i, j int) bool { return s.roundSlots[i] < s.roundSlots[j] })
+	s.roundSlots = network.SortedIDs(s.roundSlots)
 	return s.roundSlots
 }
 
@@ -580,8 +584,10 @@ func (s *Service) recordMT(slot logicalid.CHID, hid logicalid.HID, groups map[Gr
 		}
 		hids[hid] = true
 	}
-	s.tr.Eventf(trace.Membership, float64(s.bb.Net().Sim().Now()),
-		"slot %d MT view merged summary of hypercube %d (%d groups)", slot, hid, len(groups))
+	if s.trOn {
+		s.tr.Eventf(trace.Membership, float64(s.bb.Net().Sim().Now()),
+			"slot %d MT view merged summary of hypercube %d (%d groups)", slot, hid, len(groups))
+	}
 }
 
 // MTSummary returns the hypercubes the slot believes contain members of
@@ -612,8 +618,7 @@ func (s *Service) CubeMembers(slot logicalid.CHID, g Group) []logicalid.CHID {
 			out = append(out, origin)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return network.SortedIDs(out)
 }
 
 // GroupsAt returns the groups the slot's MT view knows anywhere in the

@@ -22,8 +22,6 @@
 package multicast
 
 import (
-	"sort"
-
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/logicalid"
@@ -121,6 +119,11 @@ type Service struct {
 	seenLocal map[uint64]map[network.NodeID]bool
 
 	onDeliver []DeliverFunc
+
+	// childScratch is forwardWithinCube's reusable sorted-children
+	// buffer (forwarding is never reentrant: receptions arrive as
+	// separate simulator events).
+	childScratch []logicalid.CHID
 
 	// Counters for experiments.
 	Sent          uint64
@@ -290,14 +293,7 @@ func (s *Service) enterCube(slot logicalid.CHID, uid uint64, born des.Time, hdr 
 // forwarding order must not depend on map iteration, because every
 // transmission can draw from the sender's loss stream.
 func childrenHID(tree map[logicalid.HID]logicalid.HID, h logicalid.HID) []logicalid.HID {
-	var out []logicalid.HID
-	for child, parent := range tree {
-		if parent == h && child != h {
-			out = append(out, child)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return network.Children(tree, h, nil)
 }
 
 // forwardToCube sends the packet to an entry CH of the next-hop
@@ -396,13 +392,8 @@ func (s *Service) logicalTreeWithin(hid logicalid.HID, root logicalid.CHID, dest
 // slot order (not map order) so the senders' loss streams see a
 // deterministic transmission sequence.
 func (s *Service) forwardWithinCube(slot logicalid.CHID, uid uint64, born des.Time, hdr *header) {
-	var children []logicalid.CHID
-	for childSlot, parent := range hdr.CubeTree {
-		if parent == slot && childSlot != slot {
-			children = append(children, childSlot)
-		}
-	}
-	sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+	children := network.Children(hdr.CubeTree, slot, s.childScratch[:0])
+	s.childScratch = children
 	for _, childSlot := range children {
 		if s.bb.CHNodeOf(childSlot) == network.NoNode {
 			continue // CH vanished since the tree was computed

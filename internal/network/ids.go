@@ -1,0 +1,40 @@
+package network
+
+import (
+	"cmp"
+	"slices"
+)
+
+// This file holds the shared deterministic-iteration helpers. The
+// repository's determinism contract (DESIGN.md) forbids any map
+// iteration from feeding a transmission: with nonzero radio loss every
+// send draws from the sender's loss stream, so transmit order is
+// observable in the recorded tables. Protocol planes therefore collect
+// IDs and sort before sending; these generics replace the per-package
+// copies of that helper.
+
+// SortedIDs sorts an ID slice ascending in place and returns it. Use it
+// on IDs collected from a map (members, head slots, tree nodes) before
+// iterating to transmit; pass a reused scratch slice on hot paths to
+// keep the round allocation-free.
+func SortedIDs[ID cmp.Ordered](ids []ID) []ID {
+	slices.Sort(ids)
+	return ids
+}
+
+// Children appends to out the children of parent in tree — the keys
+// mapping to parent, excluding parent's own self-loop entry — sorted
+// ascending, and returns the extended slice. It is the shared helper
+// for walking parent-pointer multicast trees in deterministic order;
+// out follows the usual append contract (pass nil, or a reused scratch
+// truncated to len 0).
+func Children[ID cmp.Ordered](tree map[ID]ID, parent ID, out []ID) []ID {
+	mark := len(out)
+	for child, p := range tree {
+		if p == parent && child != parent {
+			out = append(out, child)
+		}
+	}
+	slices.Sort(out[mark:])
+	return out
+}

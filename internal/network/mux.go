@@ -9,6 +9,13 @@ type Mux struct {
 	handlers map[string]Handler
 	fallback Handler
 	aux      map[string]any
+
+	// One-entry dispatch cache: deliveries arrive in same-kind bursts
+	// (beacon rounds, membership floods, multicast storms), so most
+	// dispatches resolve with one short string compare instead of a map
+	// hash. Handle invalidates it.
+	lastKind string
+	lastH    Handler
 }
 
 // NewMux returns an empty dispatcher.
@@ -25,7 +32,10 @@ func (m *Mux) SetAux(key string, v any) { m.aux[key] = v }
 
 // Handle registers h for packets of the given kind, replacing any
 // previous registration.
-func (m *Mux) Handle(kind string, h Handler) { m.handlers[kind] = h }
+func (m *Mux) Handle(kind string, h Handler) {
+	m.handlers[kind] = h
+	m.lastKind, m.lastH = "", nil
+}
 
 // HandleFallback registers the handler for kinds with no registration.
 func (m *Mux) HandleFallback(h Handler) { m.fallback = h }
@@ -33,7 +43,12 @@ func (m *Mux) HandleFallback(h Handler) { m.fallback = h }
 // Dispatch routes the packet to its handler. It has the Handler
 // signature so a Mux can be installed directly via SetHandler.
 func (m *Mux) Dispatch(n *Node, from NodeID, pkt *Packet) {
+	if pkt.Kind == m.lastKind && m.lastH != nil {
+		m.lastH(n, from, pkt)
+		return
+	}
 	if h, ok := m.handlers[pkt.Kind]; ok {
+		m.lastKind, m.lastH = pkt.Kind, h
 		h(n, from, pkt)
 		return
 	}

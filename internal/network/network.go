@@ -13,7 +13,7 @@
 //
 // # Hot-path design
 //
-// Four structures keep the substrate fast at 10k-node scale (DESIGN.md
+// Five structures keep the substrate fast at 10k-node scale (DESIGN.md
 // has the full story):
 //
 //   - The spatial index is incremental. Instead of rebuilding the cell
@@ -25,13 +25,26 @@
 //     only the nodes whose deadlines have passed (a small index heap),
 //     widens the scan radius by that half-cell slack, and re-checks
 //     candidates exactly. Static nodes — the anchor CH population —
-//     never refresh at all.
-//   - Per-node positions at the current instant are memoized, so a
-//     broadcast storm touching the same nodes at one timestamp advances
-//     each mobility model once.
+//     never refresh at all. Cell buckets carry each member's anchor
+//     position inline, so the prefilter is a sequential scan, and a
+//     one-entry memo replays repeated same-sender same-instant queries
+//     (a CH geo-routing one envelope per logical neighbor) without
+//     rescanning.
+//   - The delivery path runs on dense per-node arrays (liveness,
+//     receive counters, handlers, plus the spatial SoA slice), never
+//     loading *Node structs, and per-node positions at the current
+//     instant are memoized, so a broadcast storm touching the same
+//     nodes at one timestamp advances each mobility model once.
+//   - A Broadcast schedules one pooled multi-receiver transmission
+//     event instead of one scheduler entry per neighbor; it expands at
+//     the batch's earliest delivery key with the reserved sequence
+//     numbers, so the pending-event set scales with transmissions, not
+//     transmissions x degree, while timestamps and tie-break order stay
+//     bit-identical to per-neighbor scheduling.
 //   - Traffic accounting interns the packet kind: one map lookup per
 //     transmission into a counter struct (tx, bytes, sender bitset)
-//     instead of three string-keyed map updates and a nested sender map.
+//     behind a one-entry cache riding same-kind bursts. The Mux keeps
+//     the same cache over handler dispatch.
 //   - Packet hops schedule pooled delivery records through
 //     des.ScheduleCall, and packets themselves can be pooled
 //     (AcquirePacket/ReleasePacket) with network-managed reference
@@ -123,24 +136,30 @@ type Node struct {
 	// Cap meters residual bandwidth for QoS admission.
 	Cap *radio.Capacity
 
-	up      bool
-	handler Handler
-	rng     *xrand.Rand
-	pre     radio.Precomp // cached link budget of Radio
+	rng *xrand.Rand
+	pre radio.Precomp // cached link budget of Radio
 
-	// Traffic counters (transmissions this node performed).
+	// Traffic counters (transmissions this node performed). Receive
+	// counters live in the network's dense per-node arrays — the
+	// delivery hot path updates them without loading the Node — and are
+	// read through RxPackets/RxBytes.
 	TxPackets, TxBytes uint64
-	RxPackets, RxBytes uint64
 	// ForwardLoad counts transmissions done on behalf of others (the
 	// load-balancing experiments read it).
 	ForwardLoad uint64
 }
 
+// RxPackets returns how many packets the node has received.
+func (n *Node) RxPackets() uint64 { return n.net.rxPkts[n.ID] }
+
+// RxBytes returns how many bytes the node has received.
+func (n *Node) RxBytes() uint64 { return n.net.rxBytes[n.ID] }
+
 // Up reports whether the node is alive.
-func (n *Node) Up() bool { return n.up }
+func (n *Node) Up() bool { return n.net.up[n.ID] }
 
 // SetHandler installs the packet receive callback.
-func (n *Node) SetHandler(h Handler) { n.handler = h }
+func (n *Node) SetHandler(h Handler) { n.net.handlers[n.ID] = h }
 
 // Rand returns the node's private PRNG stream.
 func (n *Node) Rand() *xrand.Rand { return n.rng }
@@ -165,24 +184,30 @@ func (n *Node) TruePos() geom.Point {
 // Recover. The node leaves the spatial index immediately, so neighbor
 // queries at the same instant already exclude it.
 func (n *Node) Fail() {
-	if !n.up {
+	if !n.net.up[n.ID] {
 		return
 	}
-	n.up = false
+	n.net.up[n.ID] = false
 	n.net.indexRemove(n.ID)
 }
 
 // Recover brings a failed node back and re-enters it into the spatial
 // index at its current true position.
 func (n *Node) Recover() {
-	if n.up {
+	if n.net.up[n.ID] {
 		return
 	}
-	n.up = true
+	n.net.up[n.ID] = true
 	n.net.indexInsert(n.ID)
 }
 
 // spatialState is the per-node bookkeeping of the incremental index.
+// It deliberately duplicates the mobility model in one parallel
+// struct-of-arrays slice: refreshTo and NeighborsPos iterate thousands
+// of candidates per query, and walking w.sp[id] stays within a few
+// contiguous cache lines where chasing *Node pointers would miss on
+// every candidate. (Liveness, receive counters, and handlers live in
+// their own denser arrays; see Network.)
 type spatialState struct {
 	// cell is the node's current bucket; anchorPos the position the
 	// bucket and deadline were computed from.
@@ -197,6 +222,8 @@ type spatialState struct {
 	// heapIdx is the node's slot in the refresh heap; -1 when absent
 	// (down nodes, and static nodes whose deadline is infinite).
 	heapIdx int32
+	// mob aliases Node.Mob so position refreshes never touch the Node.
+	mob mobility.Model
 	// driftSpeed/driftJump cache Mob.DriftBound().
 	driftSpeed, driftJump float64
 }
@@ -208,36 +235,67 @@ type Network struct {
 	nodes  []*Node
 	rng    *xrand.Rand
 	tracer trace.Tracer
+	trOn   bool // gates per-loss trace calls (arg boxing allocates)
 
 	// Incremental spatial index over node positions. Cells form a dense
 	// array over the arena (padded by gridPad cells per side for movers
 	// that exceed the arena, e.g. group-motion offsets); out-of-range
 	// positions clamp to the border cells, which preserves query
 	// correctness because clamping never increases cell distance.
+	// Buckets carry each member's anchor position inline (cellEntry),
+	// so the query prefilter is one sequential scan per bucket and only
+	// surviving candidates touch the per-node spatial state.
 	cellSize float64
 	slack    float64 // staleness tolerance of cached cell positions
 	gridMinX float64
 	gridMinY float64
 	gridCols int
 	gridRows int
-	cells    [][]NodeID // dense, indexed cy*gridCols+cx
+	cells    [][]cellEntry // dense, indexed cy*gridCols+cx
 	sp       []spatialState
 	refresh  []NodeID // index min-heap keyed by sp[id].safeUntil
 
-	nbrScratch []NodeID     // Broadcast's reusable neighbor buffer
-	posScratch []geom.Point // positions parallel to nbrScratch
+	// Dense per-node arrays of the delivery hot path: liveness,
+	// receive counters, and handlers, so neither deliver nor the
+	// transmit checks load the Node struct itself. up is the
+	// authoritative liveness flag (Node.Up reads it).
+	up       []bool
+	handlers []Handler
+	rxPkts   []uint64
+	rxBytes  []uint64
+
+	// One-entry neighbor-query memo. Protocol bursts query the same
+	// sender repeatedly within one instant (a CH geo-routes one
+	// envelope per logical neighbor back to back); the memo replays
+	// the result as two appends instead of a grid scan. topoVer
+	// invalidates it on any index membership change.
+	nbrMemoID  NodeID
+	nbrMemoAt  des.Time
+	nbrMemoVer uint64
+	nbrMemoIDs []NodeID
+	nbrMemoPos []geom.Point
+	topoVer    uint64
 
 	nextUID uint64
 
-	// Aggregate accounting, interned by packet kind.
+	// Aggregate accounting, interned by packet kind, with a one-entry
+	// cache riding the same-kind burstiness of protocol traffic.
 	kinds     map[string]*kindCounter
+	lastKind  string
+	lastKC    *kindCounter
 	ctrlBytes uint64
 	dataBytes uint64
 	lost      uint64
 
-	// Free lists for pooled packets and delivery records.
+	// grain is the smallest radio delay quantum admitted so far; it
+	// feeds the event scheduler's bucket sizing (des.Simulator.SetGrain).
+	grain float64
+
+	// Free lists for pooled packets, delivery records, and broadcast
+	// transmission records.
 	freePkts []*Packet
 	freeDel  []*delivery
+	freeTx   []*transmission
 	// pktCheckedOut balances AcquirePacket against pool recycling; it
 	// must return to zero once the simulator drains (the leak check
 	// scenario integration tests assert at world teardown).
@@ -246,6 +304,18 @@ type Network struct {
 
 // cellKey addresses one cell of the dense grid.
 type cellKey struct{ cx, cy int }
+
+// cellEntry is one bucket member of the spatial index: the node plus a
+// copy of the anchor position its bucket assignment was computed from,
+// and whether the node is static (anchor CHs). Keeping the scan data
+// inline makes the query prefilter a walk over contiguous 32-byte
+// records; for static nodes the anchor *is* the exact position, so the
+// whole range check completes without loading any per-node state.
+type cellEntry struct {
+	id     NodeID
+	x, y   float64
+	static bool
+}
 
 // gridPad is how many cells the dense grid extends beyond the arena on
 // each side, absorbing movers that wander slightly outside it.
@@ -276,13 +346,13 @@ func (k *kindCounter) setSender(id NodeID) {
 // simulator.
 func New(sim *des.Simulator, arena geom.Rect, rng *xrand.Rand) *Network {
 	w := &Network{
-		sim:        sim,
-		arena:      arena,
-		rng:        rng,
-		tracer:     trace.Nop,
-		cellSize:   radio.DefaultCH.Range,
-		kinds:      make(map[string]*kindCounter),
-		posScratch: make([]geom.Point, 0, 32),
+		sim:       sim,
+		arena:     arena,
+		rng:       rng,
+		tracer:    trace.Nop,
+		cellSize:  radio.DefaultCH.Range,
+		kinds:     make(map[string]*kindCounter),
+		nbrMemoID: NoNode,
 	}
 	w.sizeGrid()
 	return w
@@ -296,7 +366,7 @@ func (w *Network) sizeGrid() {
 	w.gridMinY = w.arena.Min.Y - gridPad*w.cellSize
 	w.gridCols = int(math.Ceil(w.arena.W()/w.cellSize)) + 2*gridPad + 1
 	w.gridRows = int(math.Ceil(w.arena.H()/w.cellSize)) + 2*gridPad + 1
-	w.cells = make([][]NodeID, w.gridCols*w.gridRows)
+	w.cells = make([][]cellEntry, w.gridCols*w.gridRows)
 }
 
 // SetTracer installs a tracer; nil resets to no-op.
@@ -305,6 +375,7 @@ func (w *Network) SetTracer(t trace.Tracer) {
 		t = trace.Nop
 	}
 	w.tracer = t
+	w.trOn = t != trace.Nop
 }
 
 // Sim returns the simulator the network schedules on.
@@ -327,14 +398,23 @@ func (w *Network) AddNode(mob mobility.Model, rm radio.Model, receiver gps.Recei
 		GPS:       receiver,
 		CHCapable: chCapable,
 		Cap:       radio.NewCapacity(rm.Bandwidth),
-		up:        true,
 		rng:       w.rng.Split(),
 		pre:       rm.Precompute(),
 	}
 	w.nodes = append(w.nodes, n)
-	w.sp = append(w.sp, spatialState{heapIdx: -1, exactAt: -1})
+	w.sp = append(w.sp, spatialState{heapIdx: -1, exactAt: -1, mob: mob})
+	w.up = append(w.up, true)
+	w.handlers = append(w.handlers, nil)
+	w.rxPkts = append(w.rxPkts, 0)
+	w.rxBytes = append(w.rxBytes, 0)
 	sp := &w.sp[n.ID]
 	sp.driftSpeed, sp.driftJump = mob.DriftBound()
+	if q := n.pre.DelayQuantum(); q > 0 && (w.grain == 0 || q < w.grain) {
+		// A finer radio class tightens the hop-delay quantum; let the
+		// scheduler size its near-horizon buckets to it.
+		w.grain = q
+		w.sim.SetGrain(des.Duration(q))
+	}
 	if rm.Range > w.cellSize {
 		// A longer-range radio widens the grid cells; re-bucket everyone
 		// (the rebuild indexes the new node along with the rest).
@@ -353,7 +433,7 @@ func (w *Network) reindexAll() {
 	w.refresh = w.refresh[:0]
 	for _, n := range w.nodes {
 		w.sp[n.ID].heapIdx = -1
-		if n.up {
+		if w.up[n.ID] {
 			w.indexInsert(n.ID)
 		}
 	}
@@ -403,13 +483,16 @@ func (w *Network) cellIndex(c cellKey) int { return c.cy*w.gridCols + c.cx }
 // memoized so repeated queries within one event burst advance the
 // mobility model once.
 func (w *Network) truePos(n *Node) geom.Point {
-	return w.truePosAt(n, w.sim.Now())
+	return w.truePosAt(n.ID, w.sim.Now())
 }
 
-func (w *Network) truePosAt(n *Node, now des.Time) geom.Point {
-	sp := &w.sp[n.ID]
+// truePosAt works purely off the spatial SoA slice: the candidate loops
+// of NeighborsPos and refreshTo call it per candidate, and touching the
+// *Node there would reintroduce a pointer chase per cache line saved.
+func (w *Network) truePosAt(id NodeID, now des.Time) geom.Point {
+	sp := &w.sp[id]
 	if sp.exactAt != now {
-		sp.exactPos = n.Mob.TrueFix(float64(now)).Pos
+		sp.exactPos = sp.mob.TrueFix(float64(now)).Pos
 		sp.exactAt = now
 	}
 	return sp.exactPos
@@ -431,6 +514,7 @@ func (w *Network) safeSpan(sp *spatialState) des.Duration {
 // indexInsert (re)computes the node's position, bucket, and deadline and
 // enters it into the index. The node must currently be outside the index.
 func (w *Network) indexInsert(id NodeID) {
+	w.topoVer++
 	n := w.nodes[id]
 	sp := &w.sp[id]
 	now := w.sim.Now()
@@ -438,9 +522,10 @@ func (w *Network) indexInsert(id NodeID) {
 	sp.anchorPos = pos
 	sp.cell = w.cellOf(pos)
 	ci := w.cellIndex(sp.cell)
-	w.cells[ci] = append(w.cells[ci], id)
 	span := w.safeSpan(sp)
-	if span >= des.Infinity {
+	static := span >= des.Infinity
+	w.cells[ci] = append(w.cells[ci], cellEntry{id: id, x: pos.X, y: pos.Y, static: static})
+	if static {
 		sp.safeUntil = des.Infinity
 		return // never expires (static node): stay out of the heap
 	}
@@ -450,6 +535,7 @@ func (w *Network) indexInsert(id NodeID) {
 
 // indexRemove takes the node out of its bucket and the refresh heap.
 func (w *Network) indexRemove(id NodeID) {
+	w.topoVer++
 	sp := &w.sp[id]
 	w.bucketRemove(sp.cell, id)
 	if sp.heapIdx >= 0 {
@@ -460,11 +546,23 @@ func (w *Network) indexRemove(id NodeID) {
 func (w *Network) bucketRemove(c cellKey, id NodeID) {
 	ci := w.cellIndex(c)
 	b := w.cells[ci]
-	for i, v := range b {
-		if v == id {
+	for i := range b {
+		if b[i].id == id {
 			last := len(b) - 1
 			b[i] = b[last]
 			w.cells[ci] = b[:last]
+			return
+		}
+	}
+}
+
+// bucketRefresh updates the anchor position stored inline for a node
+// that revalidated without crossing a cell boundary.
+func (w *Network) bucketRefresh(c cellKey, id NodeID, pos geom.Point) {
+	b := w.cells[w.cellIndex(c)]
+	for i := range b {
+		if b[i].id == id {
+			b[i].x, b[i].y = pos.X, pos.Y
 			return
 		}
 	}
@@ -481,13 +579,15 @@ func (w *Network) refreshTo(now des.Time) {
 		if sp.safeUntil >= now {
 			return
 		}
-		pos := w.truePosAt(w.nodes[id], now)
+		pos := w.truePosAt(id, now)
 		sp.anchorPos = pos
 		if c := w.cellOf(pos); c != sp.cell {
 			w.bucketRemove(sp.cell, id)
 			sp.cell = c
 			ci := w.cellIndex(c)
-			w.cells[ci] = append(w.cells[ci], id)
+			w.cells[ci] = append(w.cells[ci], cellEntry{id: id, x: pos.X, y: pos.Y})
+		} else {
+			w.bucketRefresh(sp.cell, id, pos)
 		}
 		sp.safeUntil = now + w.safeSpan(sp)
 		w.heapFix(0)
@@ -589,12 +689,28 @@ func (w *Network) NeighborsAppend(id NodeID, out []NodeID) []NodeID {
 // the range check already produced.
 func (w *Network) NeighborsPos(id NodeID, ids []NodeID, pos []geom.Point) ([]NodeID, []geom.Point) {
 	n := w.Node(id)
-	if n == nil || !n.up {
+	if n == nil || !w.up[id] {
 		return ids, pos
 	}
 	now := w.sim.Now()
+	if w.nbrMemoID != id || w.nbrMemoAt != now || w.nbrMemoVer != w.topoVer {
+		w.scanNeighbors(n, now)
+	}
+	ids = append(ids, w.nbrMemoIDs...)
+	if pos != nil {
+		pos = append(pos, w.nbrMemoPos...)
+	}
+	return ids, pos
+}
+
+// scanNeighbors runs the grid scan for the sender at the given instant
+// and records the result in the one-entry memo.
+func (w *Network) scanNeighbors(n *Node, now des.Time) {
+	id := n.ID
+	w.nbrMemoID, w.nbrMemoAt, w.nbrMemoVer = id, now, w.topoVer
+	ids, pos := w.nbrMemoIDs[:0], w.nbrMemoPos[:0]
 	w.refreshTo(now)
-	p := w.truePosAt(n, now)
+	p := w.truePosAt(id, now)
 	// A node in range r has its anchor position within r+slack of p, so
 	// scanning the cells overlapping that disc and prefiltering on the
 	// anchor (no mobility advance) is exhaustive; only candidates inside
@@ -607,31 +723,40 @@ func (w *Network) NeighborsPos(id NodeID, ids []NodeID, pos []geom.Point) ([]Nod
 	for cy := c0.cy; cy <= c1.cy; cy++ {
 		row := w.cells[cy*w.gridCols+c0.cx : cy*w.gridCols+c1.cx+1]
 		for _, bucket := range row {
-			for _, other := range bucket {
-				if other == id {
+			for i := range bucket {
+				e := &bucket[i]
+				// The prefilter runs entirely on the bucket's inline
+				// anchor copies — no per-node loads for rejected
+				// candidates.
+				dx, dy := p.X-e.x, p.Y-e.y
+				d2 := dx*dx + dy*dy
+				if d2 > reach2 || e.id == id {
 					continue
 				}
-				sp := &w.sp[other]
-				if p.Dist2(sp.anchorPos) > reach2 {
-					continue
-				}
-				op := w.truePosAt(w.nodes[other], now)
-				if p.Dist2(op) <= r2 {
-					ids = append(ids, other)
-					if pos != nil {
-						pos = append(pos, op)
+				if e.static {
+					// Static nodes never drift: the anchor is the exact
+					// position.
+					if d2 <= r2 {
+						ids = append(ids, e.id)
+						pos = append(pos, geom.Pt(e.x, e.y))
 					}
+					continue
+				}
+				op := w.truePosAt(e.id, now)
+				if p.Dist2(op) <= r2 {
+					ids = append(ids, e.id)
+					pos = append(pos, op)
 				}
 			}
 		}
 	}
-	return ids, pos
+	w.nbrMemoIDs, w.nbrMemoPos = ids, pos
 }
 
 // InRange reports whether a's radio currently reaches b and both are up.
 func (w *Network) InRange(a, b NodeID) bool {
 	na, nb := w.Node(a), w.Node(b)
-	if na == nil || nb == nil || !na.up || !nb.up {
+	if na == nil || nb == nil || !w.up[a] || !w.up[b] {
 		return false
 	}
 	return na.pre.InRange2(w.truePos(na).Dist2(w.truePos(nb)))
@@ -640,10 +765,14 @@ func (w *Network) InRange(a, b NodeID) bool {
 func (w *Network) account(n *Node, pkt *Packet) {
 	n.TxPackets++
 	n.TxBytes += uint64(pkt.Size)
-	kc := w.kinds[pkt.Kind]
-	if kc == nil {
-		kc = &kindCounter{}
-		w.kinds[pkt.Kind] = kc
+	kc := w.lastKC
+	if kc == nil || pkt.Kind != w.lastKind {
+		kc = w.kinds[pkt.Kind]
+		if kc == nil {
+			kc = &kindCounter{}
+			w.kinds[pkt.Kind] = kc
+		}
+		w.lastKind, w.lastKC = pkt.Kind, kc
 	}
 	kc.tx++
 	kc.bytes += uint64(pkt.Size)
@@ -674,7 +803,7 @@ func runDelivery(a any) {
 	w.deliver(from, to, pkt)
 }
 
-func (w *Network) scheduleDelivery(delay des.Duration, from, to NodeID, pkt *Packet) {
+func (w *Network) allocDelivery(from, to NodeID, pkt *Packet) *delivery {
 	var d *delivery
 	if n := len(w.freeDel); n > 0 {
 		d = w.freeDel[n-1]
@@ -683,10 +812,66 @@ func (w *Network) scheduleDelivery(delay des.Duration, from, to NodeID, pkt *Pac
 		d = &delivery{}
 	}
 	d.w, d.from, d.to, d.pkt = w, from, to, pkt
+	return d
+}
+
+func (w *Network) scheduleDelivery(delay des.Duration, from, to NodeID, pkt *Packet) {
 	if pkt.pooled {
 		pkt.refs++
 	}
-	w.sim.AfterCall(delay, runDelivery, d)
+	w.sim.AfterCall(delay, runDelivery, w.allocDelivery(from, to, pkt))
+}
+
+// transmission is one pooled multi-receiver broadcast in flight: the
+// receiver set and each receiver's exact delivery time, captured at
+// send time into reusable parallel slices (struct-of-arrays scratch),
+// plus the block of schedule sequence numbers reserved for them. A
+// Broadcast schedules a single transmission event instead of one
+// scheduler entry per neighbor; the pending-event set then scales with
+// transmissions, not with transmissions x degree.
+type transmission struct {
+	w    *Network
+	from NodeID
+	pkt  *Packet
+	ids  []NodeID   // receivers in neighbor order
+	at   []des.Time // per-receiver delivery instant, parallel to ids
+	seq  uint64     // first sequence number of the reserved block
+	min  int        // receiver holding the batch's minimal (at, seq) key
+}
+
+// runTransmission dispatches a multi-receiver transmission. It executes
+// at the batch's earliest (time, sequence) key: the remaining receivers
+// are materialized as ordinary delivery events at their original keys
+// (mostly landing in the scheduler's imminent bucket — per-receiver
+// delivery times differ only by propagation, microseconds against
+// millisecond buckets), and the earliest receiver's delivery runs
+// inline. Event-for-event, timestamps, sequence numbers, and the
+// executed-event count are identical to scheduling every delivery at
+// send time.
+func runTransmission(a any) {
+	t := a.(*transmission)
+	w, from, pkt, min := t.w, t.from, t.pkt, t.min
+	for i, to := range t.ids {
+		if i == min {
+			continue
+		}
+		w.sim.ScheduleCallSeq(t.at[i], t.seq+uint64(i), runDelivery, w.allocDelivery(from, to, pkt))
+	}
+	inlineTo := t.ids[min]
+	t.pkt = nil
+	t.ids = t.ids[:0]
+	t.at = t.at[:0]
+	w.freeTx = append(w.freeTx, t) // recycle before the handler runs
+	w.deliver(from, inlineTo, pkt)
+}
+
+func (w *Network) allocTransmission() *transmission {
+	if n := len(w.freeTx); n > 0 {
+		t := w.freeTx[n-1]
+		w.freeTx = w.freeTx[:n-1]
+		return t
+	}
+	return &transmission{}
 }
 
 // Unicast transmits pkt from one node to a one-hop neighbor. It reports
@@ -696,7 +881,7 @@ func (w *Network) scheduleDelivery(delay des.Duration, from, to NodeID, pkt *Pac
 func (w *Network) Unicast(from, to NodeID, pkt *Packet) bool {
 	src := w.Node(from)
 	dst := w.Node(to)
-	if src == nil || dst == nil || !src.up || !dst.up {
+	if src == nil || dst == nil || !w.up[from] || !w.up[to] {
 		return false
 	}
 	d2 := w.truePos(src).Dist2(w.truePos(dst))
@@ -706,7 +891,9 @@ func (w *Network) Unicast(from, to NodeID, pkt *Packet) bool {
 	w.account(src, pkt)
 	if src.Radio.Lost(src.rng) {
 		w.lost++
-		w.tracer.Eventf(trace.Radio, float64(w.sim.Now()), "LOST %s %d->%d", pkt.Kind, from, to)
+		if w.trOn {
+			w.tracer.Eventf(trace.Radio, float64(w.sim.Now()), "LOST %s %d->%d", pkt.Kind, from, to)
+		}
 		return true
 	}
 	w.scheduleDelivery(des.Duration(src.pre.HopDelay2(pkt.Size, d2)), from, to, pkt)
@@ -718,34 +905,80 @@ func (w *Network) Unicast(from, to NodeID, pkt *Packet) bool {
 // advantage): the sender's counters are charged once, each receiver
 // draws loss independently. It returns the number of neighbors the
 // packet was put on air to.
+//
+// The receivers that survive the loss draw are batched into one pooled
+// transmission event rather than one scheduler entry each; the batch
+// reserves the same sequence numbers immediate scheduling would have
+// consumed and expands at its earliest delivery key (runTransmission),
+// so delivery timestamps, tie-break order, and the executed-event count
+// are bit-identical to the unbatched path.
 func (w *Network) Broadcast(from NodeID, pkt *Packet) int {
 	src := w.Node(from)
-	if src == nil || !src.up {
+	if src == nil || !w.up[from] {
 		return 0
 	}
-	w.nbrScratch, w.posScratch = w.NeighborsPos(from, w.nbrScratch[:0], w.posScratch[:0])
-	nbrs, poss := w.nbrScratch, w.posScratch
+	now := w.sim.Now()
+	if w.nbrMemoID != from || w.nbrMemoAt != now || w.nbrMemoVer != w.topoVer {
+		w.scanNeighbors(src, now)
+	}
+	// Read the memo slices directly — nothing in the loop below can
+	// trigger a rescan, and the per-transmission copy into caller
+	// scratch is measurable at 10k-scale broadcast volume.
+	nbrs, poss := w.nbrMemoIDs, w.nbrMemoPos
 	w.account(src, pkt)
 	sp := w.truePos(src)
+	t := w.allocTransmission()
 	for i, to := range nbrs {
 		if src.Radio.Lost(src.rng) {
 			w.lost++
 			continue
 		}
 		d2 := sp.Dist2(poss[i])
-		w.scheduleDelivery(des.Duration(src.pre.HopDelay2(pkt.Size, d2)), from, to, pkt)
+		t.ids = append(t.ids, to)
+		t.at = append(t.at, now+des.Duration(src.pre.HopDelay2(pkt.Size, d2)))
 	}
+	n := len(t.ids)
+	if n <= 1 {
+		if n == 1 {
+			// Schedule the lone delivery at its absolute time with the
+			// one sequence number the unbatched path would have used —
+			// a relative re-derivation (at-now) can land 1 ulp off.
+			if pkt.pooled {
+				pkt.refs++
+			}
+			w.sim.ScheduleCallSeq(t.at[0], w.sim.ReserveSeqs(1), runDelivery, w.allocDelivery(from, t.ids[0], pkt))
+			t.ids = t.ids[:0]
+			t.at = t.at[:0]
+		}
+		w.freeTx = append(w.freeTx, t)
+		return len(nbrs)
+	}
+	t.w, t.from, t.pkt = w, from, pkt
+	if pkt.pooled {
+		pkt.refs += int32(n) // one reference per eventual delivery
+	}
+	t.seq = w.sim.ReserveSeqs(n)
+	// The dispatch key is the earliest (time, sequence) of the batch:
+	// the first index attaining the minimal time (reserved sequence
+	// numbers increase with the index).
+	min := 0
+	for i := 1; i < n; i++ {
+		if t.at[i] < t.at[min] {
+			min = i
+		}
+	}
+	t.min = min
+	w.sim.ScheduleCallSeq(t.at[min], t.seq+uint64(min), runTransmission, t)
 	return len(nbrs)
 }
 
 func (w *Network) deliver(from, to NodeID, pkt *Packet) {
-	dst := w.nodes[to]
-	if dst.up { // may have gone down while the packet was in flight
+	if w.up[to] { // may have gone down while the packet was in flight
 		pkt.Hops++
-		dst.RxPackets++
-		dst.RxBytes += uint64(pkt.Size)
-		if dst.handler != nil {
-			dst.handler(dst, from, pkt)
+		w.rxPkts[to]++
+		w.rxBytes[to] += uint64(pkt.Size)
+		if h := w.handlers[to]; h != nil {
+			h(w.nodes[to], from, pkt)
 		}
 	}
 	if pkt.pooled {
@@ -905,7 +1138,10 @@ func (w *Network) ResetTraffic() {
 		}
 	}
 	for _, n := range w.nodes {
-		n.TxPackets, n.TxBytes, n.RxPackets, n.RxBytes, n.ForwardLoad = 0, 0, 0, 0, 0
+		n.TxPackets, n.TxBytes, n.ForwardLoad = 0, 0, 0
+	}
+	for i := range w.rxPkts {
+		w.rxPkts[i], w.rxBytes[i] = 0, 0
 	}
 }
 
@@ -914,7 +1150,7 @@ func (w *Network) ResetTraffic() {
 func (w *Network) ForwardLoads() []float64 {
 	out := make([]float64, 0, len(w.nodes))
 	for _, n := range w.nodes {
-		if n.up {
+		if w.up[n.ID] {
 			out = append(out, float64(n.ForwardLoad))
 		}
 	}
@@ -925,7 +1161,7 @@ func (w *Network) ForwardLoads() []float64 {
 func (w *Network) String() string {
 	up := 0
 	for _, n := range w.nodes {
-		if n.up {
+		if w.up[n.ID] {
 			up++
 		}
 	}

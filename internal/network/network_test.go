@@ -221,7 +221,7 @@ func TestResetTraffic(t *testing.T) {
 	sim.Run()
 	net.ResetTraffic()
 	st := net.Stats()
-	if st.ControlBytes != 0 || len(st.KindTx) != 0 || a.TxPackets != 0 || b.RxPackets != 0 {
+	if st.ControlBytes != 0 || len(st.KindTx) != 0 || a.TxPackets != 0 || b.RxPackets() != 0 {
 		t.Fatal("ResetTraffic left residue")
 	}
 }

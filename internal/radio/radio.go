@@ -101,6 +101,14 @@ func (m Model) Precompute() Precomp {
 // reachable.
 func (p Precomp) InRange2(d2 float64) bool { return d2 <= p.Range2 }
 
+// DelayQuantum is the irreducible floor of this radio's per-hop latency
+// — the processing/queueing term every transmission pays regardless of
+// size or distance. It quantizes the hop-delay distribution: deliveries
+// land at least one quantum past their send time, so the event
+// scheduler uses the smallest quantum of the admitted radio classes to
+// size its near-horizon buckets (des.Simulator.SetGrain).
+func (p Precomp) DelayQuantum() float64 { return p.ProcDelay }
+
 // HopDelay2 returns the one-hop latency for a packet of the given size
 // (bytes) over squared distance d2 (square meters) — Model.TxDelay with
 // the division and the caller's sqrt folded in.
