@@ -8,7 +8,7 @@
 //	hvdbbench -parallel 8   # fan runs over 8 workers (same tables)
 //	hvdbbench -list         # list experiment IDs
 //	hvdbbench -json         # scale benchmark -> BENCH_scale.json
-//	hvdbbench -perfsmoke    # N=1000 point vs committed baseline (CI gate)
+//	hvdbbench -perfsmoke    # N=1000/5000 points vs committed baseline (CI gate)
 //	hvdbbench -cpuprofile cpu.pprof -exp scale   # profile a run
 //
 // Independent runs inside each experiment (trials, sweep points,
@@ -22,10 +22,11 @@
 // with the Go version and GOMAXPROCS it was measured under — so future
 // changes have a perf trajectory to compare against.
 //
-// -perfsmoke re-measures only the N=1000 sweep point and compares it
-// against the committed BENCH_scale.json: a determinism drift (event
-// count mismatch) or an events/sec regression beyond the tolerance
-// fails the process, which is what the CI perf-smoke job runs.
+// -perfsmoke re-measures the N=1000 and N=5000 sweep points and
+// compares them against the committed BENCH_scale.json: a determinism
+// drift (event count mismatch), an events/sec regression beyond the
+// tolerance, or an allocs/event count above the ceiling fails the
+// process, which is what the CI perf-smoke job runs.
 //
 // Unknown flags and stray positional arguments exit with status 2 and
 // usage, matching the hvdbsim/hvdbmap convention.
@@ -48,13 +49,21 @@ import (
 // baseline.
 const benchFile = "BENCH_scale.json"
 
-// perfSmokeNodes and perfSmokeTolerance define the CI regression gate:
-// the N=1000 sweep point must stay within 25% of the committed
-// events/sec (wall-clock measures on shared runners are noisy; real
-// kernel regressions at this size are well beyond 25%).
+// perfSmokePoints and perfSmokeTolerance define the CI regression
+// gate: the N=1000 and N=5000 sweep points must stay within 25% of the
+// committed events/sec (wall-clock measures on shared runners are
+// noisy; real kernel regressions at these sizes are well beyond 25%).
+// Each point's allocs/event must additionally stay under
+// perfSmokeAllocsSlack times the committed figure (plus a small
+// absolute epsilon for GC-timing jitter): allocation counts are nearly
+// machine-independent, so the ceiling catches pooling regressions the
+// wall-clock tolerance would absorb.
+var perfSmokePoints = []int{1000, 5000}
+
 const (
-	perfSmokeNodes     = 1000
-	perfSmokeTolerance = 0.25
+	perfSmokeTolerance   = 0.25
+	perfSmokeAllocsSlack = 1.5
+	perfSmokeAllocsEps   = 0.02
 )
 
 func main() {
@@ -69,7 +78,7 @@ func main() {
 		list       = flag.Bool("list", false, "list experiments and exit")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut    = flag.Bool("json", false, "run the scale benchmark and write "+benchFile)
-		perfSmoke  = flag.Bool("perfsmoke", false, "re-measure the N=1000 scale point and fail on regression against "+benchFile)
+		perfSmoke  = flag.Bool("perfsmoke", false, "re-measure the N=1000 and N=5000 scale points and fail on events/s or allocs/event regression against "+benchFile)
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	)
@@ -78,6 +87,13 @@ func main() {
 		// flag stops parsing at the first positional argument, so a typo
 		// like `-json -quikc` would otherwise be silently ignored.
 		fmt.Fprintf(os.Stderr, "hvdbbench: unexpected argument %q\n", flag.Arg(0))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *parallel < 0 {
+		// Range-check up front: exit 2 with usage instead of handing the
+		// worker pool a nonsensical bound mid-run.
+		fmt.Fprintf(os.Stderr, "hvdbbench: -parallel must be non-negative (got %d)\n", *parallel)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -123,7 +139,7 @@ func main() {
 
 	if *perfSmoke {
 		if *exp != "" || *csv || *jsonOut {
-			log.Fatal("-perfsmoke runs only the N=1000 scale point; it cannot combine with -exp, -csv, or -json")
+			log.Fatal("-perfsmoke runs only the gated scale points; it cannot combine with -exp, -csv, or -json")
 		}
 		if err := runPerfSmoke(opts); err != nil {
 			log.Fatal(err)
@@ -196,10 +212,11 @@ func writeScaleBench(opts experiment.Options) {
 	fmt.Printf("wrote %s\n", benchFile)
 }
 
-// runPerfSmoke measures the N=1000 sweep point and compares it against
-// the committed baseline. The event count must match exactly (it is
-// deterministic; a mismatch means the kernel changed behavior, not just
-// speed) and events/sec must stay within perfSmokeTolerance.
+// runPerfSmoke measures the perfSmokePoints sweep points and compares
+// each against the committed baseline. Per point, the event count must
+// match exactly (it is deterministic; a mismatch means the kernel
+// changed behavior, not just speed), events/sec must stay within
+// perfSmokeTolerance, and allocs/event must stay under the ceiling.
 func runPerfSmoke(opts experiment.Options) error {
 	buf, err := os.ReadFile(benchFile)
 	if err != nil {
@@ -209,16 +226,6 @@ func runPerfSmoke(opts experiment.Options) error {
 	if err := json.Unmarshal(buf, &doc); err != nil {
 		return fmt.Errorf("parsing %s: %w", benchFile, err)
 	}
-	var committed *experiment.ScalePoint
-	for i := range doc.Points {
-		if doc.Points[i].Nodes == perfSmokeNodes {
-			committed = &doc.Points[i]
-			break
-		}
-	}
-	if committed == nil {
-		return fmt.Errorf("%s has no N=%d point", benchFile, perfSmokeNodes)
-	}
 	opts.Seed = doc.Seed
 	opts.Scale = doc.Scale
 	if doc.GoVersion != "" && doc.GoVersion != runtime.Version() {
@@ -227,13 +234,35 @@ func runPerfSmoke(opts experiment.Options) error {
 	if doc.GoMaxProcs != 0 && doc.GoMaxProcs != runtime.GOMAXPROCS(0) {
 		log.Printf("warning: baseline recorded at GOMAXPROCS=%d, measuring at %d", doc.GoMaxProcs, runtime.GOMAXPROCS(0))
 	}
-	measured, err := experiment.ScaleBenchN(opts, perfSmokeNodes)
+	for _, nodes := range perfSmokePoints {
+		if err := smokeOnePoint(opts, &doc, nodes); err != nil {
+			return err
+		}
+	}
+	fmt.Println("perf smoke OK")
+	return nil
+}
+
+func smokeOnePoint(opts experiment.Options, doc *scaleBenchDoc, nodes int) error {
+	var committed *experiment.ScalePoint
+	for i := range doc.Points {
+		if doc.Points[i].Nodes == nodes {
+			committed = &doc.Points[i]
+			break
+		}
+	}
+	if committed == nil {
+		return fmt.Errorf("%s has no N=%d point", benchFile, nodes)
+	}
+	measured, err := experiment.ScaleBenchN(opts, nodes)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("N=%d: measured %8.0f events/s (%d events), committed %8.0f events/s (%d events), tolerance %.0f%%\n",
-		perfSmokeNodes, measured.EventsPerSec, measured.Events,
-		committed.EventsPerSec, committed.Events, 100*perfSmokeTolerance)
+	allocCeiling := committed.AllocsPerEvent*perfSmokeAllocsSlack + perfSmokeAllocsEps
+	fmt.Printf("N=%d: measured %8.0f events/s (%d events, %.3f allocs/event), committed %8.0f events/s (%d events, %.3f allocs/event), tolerance %.0f%%, alloc ceiling %.3f\n",
+		nodes, measured.EventsPerSec, measured.Events, measured.AllocsPerEvent,
+		committed.EventsPerSec, committed.Events, committed.AllocsPerEvent,
+		100*perfSmokeTolerance, allocCeiling)
 	if measured.Events != committed.Events {
 		return fmt.Errorf("determinism drift: measured %d events, committed %d — regenerate %s and re-record the experiment tables",
 			measured.Events, committed.Events, benchFile)
@@ -242,6 +271,9 @@ func runPerfSmoke(opts experiment.Options) error {
 		return fmt.Errorf("perf regression: %0.f events/s is below the %.0f floor (committed %.0f - %.0f%%)",
 			measured.EventsPerSec, floor, committed.EventsPerSec, 100*perfSmokeTolerance)
 	}
-	fmt.Println("perf smoke OK")
+	if measured.AllocsPerEvent > allocCeiling {
+		return fmt.Errorf("allocation regression: %.3f allocs/event exceeds the %.3f ceiling (committed %.3f x%.1f + %.2f)",
+			measured.AllocsPerEvent, allocCeiling, committed.AllocsPerEvent, perfSmokeAllocsSlack, perfSmokeAllocsEps)
+	}
 	return nil
 }

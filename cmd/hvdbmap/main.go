@@ -49,9 +49,26 @@ func main() {
 	)
 	flag.Parse()
 
-	if *nodes < 0 || *fail < 0 || *cube < 0 {
-		fmt.Fprintf(os.Stderr, "hvdbmap: -nodes, -fail, and -cube must be non-negative\n")
+	// Range-check the numeric flags up front: exit 2 with usage instead
+	// of panicking in a constructor or looping on a degenerate sweep.
+	badFlag := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "hvdbmap: "+format+"\n", args...)
+		flag.Usage()
 		os.Exit(2)
+	}
+	switch {
+	case *nodes < 0 || *fail < 0 || *cube < 0:
+		badFlag("-nodes, -fail, and -cube must be non-negative")
+	case *dim < 1:
+		badFlag("-dim must be >= 1 (got %d)", *dim)
+	case *trials < 1:
+		badFlag("-trials must be >= 1 (got %d)", *trials)
+	case *arena <= 0:
+		badFlag("-arena must be positive (got %g)", *arena)
+	case *warm < 0:
+		badFlag("-warmup must be non-negative (got %g)", *warm)
+	case *parallel < 0:
+		badFlag("-parallel must be non-negative (got %d)", *parallel)
 	}
 	spec := scenario.DefaultSpec()
 	spec.Seed = *seed

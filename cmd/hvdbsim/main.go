@@ -64,6 +64,39 @@ func main() {
 	)
 	flag.Parse()
 
+	// Range-check the numeric flags up front: a bad value must exit 2
+	// with a usage hint, not panic in a constructor or spin in a
+	// degenerate run loop.
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "hvdbsim: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch {
+	case *nodes < 1:
+		fail("-nodes must be >= 1 (got %d)", *nodes)
+	case *groups < 1:
+		fail("-groups must be >= 1 (got %d)", *groups)
+	case *members < 1:
+		fail("-members must be >= 1 (got %d)", *members)
+	case *loss < 0 || *loss > 1:
+		fail("-loss must be within [0,1] (got %g)", *loss)
+	case *trials < 1:
+		fail("-trials must be >= 1 (got %d)", *trials)
+	case *dim < 1:
+		fail("-dim must be >= 1 (got %d)", *dim)
+	case *arena <= 0 || *cell <= 0:
+		fail("-arena and -cell must be positive (got %g, %g)", *arena, *cell)
+	case *packets < 1:
+		fail("-packets must be >= 1 (got %d)", *packets)
+	case *payload < 1:
+		fail("-payload must be >= 1 (got %d)", *payload)
+	case *warm < 0:
+		fail("-warmup must be non-negative (got %g)", *warm)
+	case *parallel < 0:
+		fail("-parallel must be non-negative (got %d)", *parallel)
+	}
+
 	known := false
 	for _, name := range protocol.Names() {
 		if name == *proto {

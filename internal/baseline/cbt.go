@@ -5,6 +5,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/georoute"
 	"repro/internal/network"
+	"repro/internal/route"
 )
 
 // Packet kinds of the CBT-like scheme.
@@ -33,7 +34,7 @@ type CBT struct {
 	SnapshotTTL des.Duration
 	JoinSize    int
 
-	trees  map[Group]cachedTree
+	trees  route.SnapshotMemo[Group, map[network.NodeID]network.NodeID]
 	ticker *des.Ticker
 }
 
@@ -53,7 +54,6 @@ func NewCBT(net *network.Network, mux *network.Mux) *CBT {
 		Period:      2,
 		SnapshotTTL: 2,
 		JoinSize:    12,
-		trees:       make(map[Group]cachedTree),
 	}
 	c.geo = georoute.Attach(net, mux)
 	c.geo.Deliver(CBTDataKind, func(n *network.Node, inner *network.Packet) {
@@ -174,17 +174,16 @@ func (c *CBT) Send(src network.NodeID, g Group, payloadSize int) uint64 {
 func (c *CBT) atCore(n *network.Node, inner *network.Packet) {
 	g := Group(inner.Group)
 	now := c.net.Sim().Now()
-	ct, ok := c.trees[g]
-	if !ok || ct.expires < now {
-		parent := unitDiscBFS(c.net, c.Core)
-		ct = cachedTree{tree: prunedTree(parent, c.Core, c.ms.members(c.net, g)), expires: now + c.SnapshotTTL}
-		c.trees[g] = ct
-	}
+	// The snapshot memo reproduces CBT's staleness window on the shared
+	// core tree.
+	tree := c.trees.Get(now, c.SnapshotTTL, g, func() map[network.NodeID]network.NodeID {
+		return prunedTree(unitDiscBFS(c.net, c.Core), c.Core, c.ms.members(c.net, g))
+	})
 	hdr, _ := inner.Payload.(*cbtHeader)
 	if hdr == nil {
 		hdr = &cbtHeader{PayloadSize: inner.Size}
 	}
-	hdr.Tree = ct.tree
+	hdr.Tree = tree
 	if c.ms.isMember(c.Core, g) {
 		c.log.record(c.Core, inner.UID, inner.Born, inner.Hops)
 	}

@@ -3,6 +3,7 @@ package baseline
 import (
 	"repro/internal/des"
 	"repro/internal/network"
+	"repro/internal/route"
 )
 
 // Packet kinds of the DSM-like scheme.
@@ -36,18 +37,13 @@ type DSM struct {
 	PositionSize int
 
 	seen   map[uint64]map[network.NodeID]bool // flood dedup
-	trees  map[treeKey]cachedTree
+	trees  route.SnapshotMemo[treeKey, map[network.NodeID]network.NodeID]
 	ticker *des.Ticker
 }
 
 type treeKey struct {
 	src network.NodeID
 	g   Group
-}
-
-type cachedTree struct {
-	tree    map[network.NodeID]network.NodeID
-	expires des.Time
 }
 
 // NewDSM attaches the protocol to the network's mux.
@@ -60,7 +56,6 @@ func NewDSM(net *network.Network, mux *network.Mux) *DSM {
 		SnapshotTTL:  2,
 		PositionSize: 20,
 		seen:         make(map[uint64]map[network.NodeID]bool),
-		trees:        make(map[treeKey]cachedTree),
 	}
 	mux.Handle(DSMPositionKind, d.onPosition)
 	mux.Handle(DSMDataKind, d.onData)
@@ -143,15 +138,14 @@ func (d *DSM) Send(src network.NodeID, g Group, payloadSize int) uint64 {
 		return 0
 	}
 	now := d.net.Sim().Now()
-	key := treeKey{src: src, g: g}
-	c, ok := d.trees[key]
-	if !ok || c.expires < now {
-		parent := unitDiscBFS(d.net, src)
-		c = cachedTree{tree: prunedTree(parent, src, d.ms.members(d.net, g)), expires: now + d.SnapshotTTL}
-		d.trees[key] = c
-	}
+	// The snapshot memo reproduces DSM's staleness window: the tree is
+	// reused for SnapshotTTL regardless of mobility, which is the
+	// delivery weakness the comparison measures.
+	tree := d.trees.Get(now, d.SnapshotTTL, treeKey{src: src, g: g}, func() map[network.NodeID]network.NodeID {
+		return prunedTree(unitDiscBFS(d.net, src), src, d.ms.members(d.net, g))
+	})
 	uid := d.net.NextUID()
-	hdr := &dsmHeader{Tree: c.tree, PayloadSize: payloadSize}
+	hdr := &dsmHeader{Tree: tree, PayloadSize: payloadSize}
 	if d.ms.isMember(src, g) {
 		d.log.record(src, uid, now, 0)
 	}

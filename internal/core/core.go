@@ -34,6 +34,7 @@ import (
 	"repro/internal/logicalid"
 	"repro/internal/meshtier"
 	"repro/internal/network"
+	"repro/internal/route"
 	"repro/internal/trace"
 	"repro/internal/vcgrid"
 )
@@ -134,8 +135,27 @@ type Backbone struct {
 	// occupancy only changes when an election applies).
 	nbrCache []nbrCacheEntry
 
+	// trees is the protocol-plane multicast-tree cache shared by the
+	// data plane and the QoS admission path (see internal/route).
+	trees route.Cache
+
+	// meshMemo/cubeMemo memoize SharedMesh/SharedCube per cluster
+	// topology version (occupancy is the only dynamic input).
+	meshMemo struct {
+		stamp uint64 // cm.Version()+1; 0 = never filled
+		mesh  *meshtier.Mesh
+	}
+	cubeMemo []cubeMemoEntry
+
 	// beaconSlots is the reused, sorted slot list of one BeaconRound.
 	beaconSlots []logicalid.CHID
+
+	// entryArena is the round's shared beaconEntry backing array: one
+	// allocation per round instead of one (plus growth) per slot. A
+	// fresh arena is allocated each round because payloads reference
+	// their sub-slices until every delivery has run; the previous
+	// arena simply falls to the GC when its last payload does.
+	entryArenaCap int
 
 	ticker  *des.Ticker
 	beacons uint64
@@ -144,6 +164,11 @@ type Backbone struct {
 type nbrCacheEntry struct {
 	stamp uint64 // cm.Version()+1; 0 = never filled
 	ids   []logicalid.CHID
+}
+
+type cubeMemoEntry struct {
+	stamp uint64
+	cube  *hypercube.Cube
 }
 
 // New assembles a backbone. The mux must already be bound to the
@@ -232,8 +257,12 @@ func (b *Backbone) IsBCH(slot logicalid.CHID) bool {
 	return b.scheme.IsBorder(b.scheme.Grid().FromIndex(int(slot)))
 }
 
+// Trees returns the backbone's shared multicast-tree cache.
+func (b *Backbone) Trees() *route.Cache { return &b.trees }
+
 // Cube materializes the current (possibly incomplete) logical hypercube
-// h from the live CH set.
+// h from the live CH set. The cube is freshly allocated and the caller
+// may modify it; hot paths use SharedCube instead.
 func (b *Backbone) Cube(h logicalid.HID) *hypercube.Cube {
 	c := hypercube.New(b.scheme.Dim())
 	for _, vc := range b.scheme.BlockVCs(h) {
@@ -244,9 +273,25 @@ func (b *Backbone) Cube(h logicalid.HID) *hypercube.Cube {
 	return c
 }
 
+// SharedCube returns the current hypercube h, memoized per cluster
+// topology version. The result is shared — callers must not modify it.
+func (b *Backbone) SharedCube(h logicalid.HID) *hypercube.Cube {
+	if b.cubeMemo == nil {
+		b.cubeMemo = make([]cubeMemoEntry, b.scheme.NumHypercubes())
+	}
+	e := &b.cubeMemo[h]
+	stamp := b.cm.Version() + 1
+	if e.stamp != stamp {
+		e.cube = b.Cube(h)
+		e.stamp = stamp
+	}
+	return e.cube
+}
+
 // Mesh materializes the current mesh tier: a mesh node is actual "only
 // when a logical hypercube exists in it", i.e. at least one CH in the
-// block.
+// block. The mesh is freshly allocated and the caller may modify it;
+// hot paths use SharedMesh instead.
 func (b *Backbone) Mesh() *meshtier.Mesh {
 	cols, rows := b.scheme.MeshSize()
 	m := meshtier.New(cols, rows)
@@ -259,6 +304,17 @@ func (b *Backbone) Mesh() *meshtier.Mesh {
 		}
 	}
 	return m
+}
+
+// SharedMesh returns the current mesh tier, memoized per cluster
+// topology version. The result is shared — callers must not modify it.
+func (b *Backbone) SharedMesh() *meshtier.Mesh {
+	stamp := b.cm.Version() + 1
+	if b.meshMemo.stamp != stamp {
+		b.meshMemo.mesh = b.Mesh()
+		b.meshMemo.stamp = stamp
+	}
+	return b.meshMemo.mesh
 }
 
 // LogicalNeighbors returns the CH slots one logical hop from the given
@@ -341,9 +397,11 @@ func (b *Backbone) BeaconRound() {
 		b.beaconSlots = append(b.beaconSlots, logicalid.CHID(b.scheme.Grid().Index(vc)))
 	}
 	b.beaconSlots = network.SortedIDs(b.beaconSlots)
+	arena := make([]beaconEntry, 0, b.entryArenaCap)
 	for _, slot := range b.beaconSlots {
 		ch := b.CHNodeOf(slot)
-		entries := b.exportEntries(slot, now)
+		var entries []beaconEntry
+		entries, arena = b.exportEntries(slot, now, arena)
 		free := 0.0
 		if n := b.net.Node(ch); n != nil {
 			free = n.Cap.Free()
@@ -363,14 +421,21 @@ func (b *Backbone) BeaconRound() {
 			b.net.ReleasePacket(inner)
 		}
 	}
+	if cap(arena) > b.entryArenaCap {
+		b.entryArenaCap = cap(arena)
+	}
 }
 
-// exportEntries renders the advertisable routes of a slot: itself at
+// exportEntries renders the advertisable routes of a slot — itself at
 // hops 0 plus every live table entry with fewer than K hops (a neighbor
-// would extend it by one).
-func (b *Backbone) exportEntries(slot logicalid.CHID, now des.Time) []beaconEntry {
+// would extend it by one) — appended to the round's shared arena. It
+// returns the slot's sub-slice and the extended arena. Growing the
+// arena mid-round is safe: earlier slots' sub-slices keep referencing
+// the old backing array, which their payloads pin.
+func (b *Backbone) exportEntries(slot logicalid.CHID, now des.Time, arena []beaconEntry) ([]beaconEntry, []beaconEntry) {
 	t := b.table(slot)
-	entries := []beaconEntry{{Dest: slot, Hops: 0, Delay: 0, Bandwidth: 1e12}}
+	start := len(arena)
+	arena = append(arena, beaconEntry{Dest: slot, Hops: 0, Delay: 0, Bandwidth: 1e12})
 	for dest, routes := range t.routes {
 		var best *Route
 		for i := range routes {
@@ -383,12 +448,12 @@ func (b *Backbone) exportEntries(slot logicalid.CHID, now des.Time) []beaconEntr
 			}
 		}
 		if best != nil && best.Hops < b.cfg.K {
-			entries = append(entries, beaconEntry{
+			arena = append(arena, beaconEntry{
 				Dest: dest, Hops: best.Hops, Delay: best.Delay, Bandwidth: best.Bandwidth,
 			})
 		}
 	}
-	return entries
+	return arena[start:len(arena):len(arena)], arena
 }
 
 // onBeacon is Figure 4 step 2: update local logical routes.
@@ -444,9 +509,15 @@ func (t *routeTable) update(r Route, maxRoutes int) {
 	for i := range routes {
 		if routes[i].NextHop == r.NextHop {
 			routes[i] = r
-			t.routes[r.Dest] = sortRoutes(routes)
+			sortRoutes(routes) // in place; the map's slice header is unchanged
 			return
 		}
+	}
+	if routes == nil {
+		// First route to this destination: size the slice for the cap
+		// plus the one overflow slot trimmed below, so steady-state
+		// updates never reallocate.
+		routes = make([]Route, 0, maxRoutes+1)
 	}
 	routes = sortRoutes(append(routes, r))
 	if len(routes) > maxRoutes {

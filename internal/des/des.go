@@ -89,7 +89,9 @@ func FromReal(d time.Duration) Duration { return Duration(d.Seconds()) }
 type event struct {
 	fn   func()
 	afn  func(any)
+	ufn  func(any, uint64)
 	arg  any
+	u    uint64
 	gen  uint32
 	dead bool
 }
@@ -141,6 +143,13 @@ const (
 	minWidth        = 1e-7
 	maxWidth        = 0.25
 	occupancyTarget = 64
+
+	// burstCap is the bucket capacity above which a drained array is
+	// pooled in spares rather than parked at its slot; maxSpares bounds
+	// the pool (a handful of concurrent burst arrays covers the
+	// overlapping protocol rounds seen in practice).
+	burstCap  = 4096
+	maxSpares = 4
 )
 
 // Simulator owns the virtual clock and the future event list.
@@ -169,6 +178,16 @@ type Simulator struct {
 	farTmp   []entry // roll's reusable partition scratch
 	spill    []entry // sparse fallback tier: 4-ary min-heap by (at, seq)
 	count    int     // pending entries across all tiers
+
+	// spares recycles burst-bucket arrays. A protocol round dumps a
+	// 10^5-entry burst into whichever bucket covers its delivery
+	// instant, and that bucket index moves every epoch — left to plain
+	// append, each burst re-grows a cold slice from scratch (this was
+	// ~80% of all allocation at the 10k scale point). Drained buckets
+	// with burst-scale capacity park here instead of in their slot, and
+	// insert's grow path reuses them. Pure memory management: entries,
+	// order, and counts are untouched.
+	spares [][]entry
 
 	grain  float64 // width hint from SetGrain, applied at the next roll
 	placed uint64  // near-tier placements this epoch (occupancy feedback)
@@ -243,7 +262,7 @@ func (s *Simulator) alloc() *event {
 // recycle returns a record to the pool, invalidating outstanding handles.
 func (s *Simulator) recycle(ev *event) {
 	ev.gen++
-	ev.fn, ev.afn, ev.arg = nil, nil, nil
+	ev.fn, ev.afn, ev.ufn, ev.arg, ev.u = nil, nil, nil, nil, 0
 	ev.dead = false
 	s.free = append(s.free, ev)
 }
@@ -267,6 +286,19 @@ func (s *Simulator) ScheduleCall(at Time, fn func(any), arg any) Handle {
 	return Handle{ev, ev.gen}
 }
 
+// ScheduleCallU is ScheduleCall with an extra unboxed word: fn runs as
+// fn(arg, u). The delivery fan-out threads (from, to) through u and the
+// packet through arg, which removes the pooled per-hop record — and
+// with it one dependent cold load per executed event — that a single
+// arg pointer would otherwise require.
+func (s *Simulator) ScheduleCallU(at Time, fn func(any, uint64), arg any, u uint64) Handle {
+	ev := s.push(at)
+	ev.ufn = fn
+	ev.arg = arg
+	ev.u = u
+	return Handle{ev, ev.gen}
+}
+
 // After runs fn after the given delay from the current time.
 func (s *Simulator) After(d Duration, fn func()) Handle {
 	return s.Schedule(s.now+d, fn)
@@ -275,6 +307,12 @@ func (s *Simulator) After(d Duration, fn func()) Handle {
 // AfterCall runs fn(arg) after the given delay from the current time.
 func (s *Simulator) AfterCall(d Duration, fn func(any), arg any) Handle {
 	return s.ScheduleCall(s.now+d, fn, arg)
+}
+
+// AfterCallU runs fn(arg, u) after the given delay from the current
+// time (see ScheduleCallU).
+func (s *Simulator) AfterCallU(d Duration, fn func(any, uint64), arg any, u uint64) Handle {
+	return s.ScheduleCallU(s.now+d, fn, arg, u)
 }
 
 // ReserveSeqs reserves a contiguous block of n schedule sequence numbers
@@ -303,6 +341,20 @@ func (s *Simulator) ScheduleCallSeq(at Time, seq uint64, fn func(any), arg any) 
 	ev := s.alloc()
 	ev.afn = fn
 	ev.arg = arg
+	s.insert(entry{at: at, seq: seq, ev: ev})
+	return Handle{ev, ev.gen}
+}
+
+// ScheduleCallSeqU is ScheduleCallSeq for the unboxed-word form of
+// ScheduleCallU, under the same (at, seq) contract.
+func (s *Simulator) ScheduleCallSeqU(at Time, seq uint64, fn func(any, uint64), arg any, u uint64) Handle {
+	if at < s.now {
+		panic(fmt.Sprintf("des: scheduling at %v before now %v", at, s.now))
+	}
+	ev := s.alloc()
+	ev.ufn = fn
+	ev.arg = arg
+	ev.u = u
 	s.insert(entry{at: at, seq: seq, ev: ev})
 	return Handle{ev, ev.gen}
 }
@@ -353,9 +405,31 @@ func (s *Simulator) insert(e entry) {
 			// i.e. the short causality chains of the current instant.
 			s.side = heapPush(s.side, e)
 		} else {
-			s.buckets[idx] = append(s.buckets[idx], e)
+			b := s.buckets[idx]
+			if len(b) == cap(b) && len(b) >= burstCap/2 {
+				// Burst growth: move to a pooled burst array instead of
+				// letting append allocate another one.
+				b = s.burstGrow(b)
+			}
+			s.buckets[idx] = append(b, e)
 		}
 	}
+}
+
+// burstGrow moves a full bucket into a pooled burst array when one
+// with enough headroom is available; otherwise the caller's append
+// grows it normally (and the grown array will be pooled when drained).
+func (s *Simulator) burstGrow(b []entry) []entry {
+	for i := len(s.spares) - 1; i >= 0; i-- {
+		sp := s.spares[i]
+		if cap(sp) >= 2*len(b) {
+			s.spares = append(s.spares[:i], s.spares[i+1:]...)
+			sp = sp[:len(b)]
+			copy(sp, b)
+			return sp
+		}
+	}
+	return b
 }
 
 // front returns the entry with the minimal (at, seq) key without
@@ -390,7 +464,14 @@ func (s *Simulator) front() *entry {
 				// to be monotone — same-instant protocol rounds, steady
 				// streams — is already sorted and the check is one
 				// sequential pass.
-				s.buckets[s.cur] = s.cb[:0]
+				if cap(s.cb) >= burstCap && len(s.spares) < maxSpares {
+					// Burst-scale capacity follows the bursts through the
+					// spare pool instead of idling at one slot.
+					s.spares = append(s.spares, s.cb[:0])
+					s.buckets[s.cur] = nil
+				} else {
+					s.buckets[s.cur] = s.cb[:0]
+				}
 				s.cb = b
 				s.cbHead = 0
 				if !sortedEntries(s.cb) {
@@ -673,12 +754,15 @@ func (s *Simulator) popKnown(f *entry) {
 // runEvent recycles and runs a live entry's event at its timestamp.
 func (s *Simulator) runEvent(at Time, ev *event) {
 	s.now = at
-	fn, afn, arg := ev.fn, ev.afn, ev.arg
+	fn, afn, ufn, arg, u := ev.fn, ev.afn, ev.ufn, ev.arg, ev.u
 	s.recycle(ev)
 	s.executed++
-	if fn != nil {
+	switch {
+	case ufn != nil:
+		ufn(arg, u)
+	case fn != nil:
 		fn()
-	} else {
+	default:
 		afn(arg)
 	}
 }

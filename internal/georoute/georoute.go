@@ -36,16 +36,26 @@ const HeaderSize = 36
 // DefaultTTL bounds the physical hop count of one geo-routed packet.
 const DefaultTTL = 128
 
-// Header is the geo-routing envelope around an inner packet.
+// Header is the geo-routing envelope around an inner packet. Field
+// order is part of the hot path: every per-hop decision touches
+// FinalDst, Inner, Target, TTL, Hops, and Recovering, so they lead the
+// struct and share its first cache line; the perimeter-recovery state
+// (rare) trails.
 type Header struct {
-	// Target is the geographic destination the greedy mode steers to.
-	Target geom.Point
 	// FinalDst, when not NoNode, names the node that should consume the
 	// inner packet; the packet completes at FinalDst, or at the node
 	// closest to Target when FinalDst is NoNode (anycast-to-location).
 	FinalDst network.NodeID
+	// Inner is the encapsulated upper-layer packet.
+	Inner *network.Packet
+	// Target is the geographic destination the greedy mode steers to.
+	Target geom.Point
 	// TTL is the remaining physical hop budget.
 	TTL int
+	// Hops counts physical transmissions of this envelope; it is copied
+	// to the inner packet on delivery so end-to-end hop metrics survive
+	// per-hop re-encapsulation.
+	Hops int
 	// Perimeter mode state: whether we are in recovery, the distance to
 	// target at which recovery was entered, and the previous hop (for
 	// the right-hand rule).
@@ -58,12 +68,6 @@ type Header struct {
 	// unvisited perimeter neighbors and dropping only when the whole
 	// reachable perimeter has been walked.
 	Visited map[network.NodeID]bool
-	// Hops counts physical transmissions of this envelope; it is copied
-	// to the inner packet on delivery so end-to-end hop metrics survive
-	// per-hop re-encapsulation.
-	Hops int
-	// Inner is the encapsulated upper-layer packet.
-	Inner *network.Packet
 }
 
 // DeliverFunc consumes an inner packet that reached its destination.
@@ -243,12 +247,14 @@ func (r *Router) onPacket(n *network.Node, from network.NodeID, pkt *network.Pac
 
 // forward makes one forwarding decision at node n.
 func (r *Router) forward(n *network.Node, h *Header) bool {
-	pos := n.TruePos()
-	// Arrived at the named destination?
+	// Arrived at the named destination? (Checked before computing the
+	// node's position — consumption doesn't need it, and logical-hop
+	// traffic terminates here once per hop.)
 	if h.FinalDst == n.ID {
 		r.consume(n, h)
 		return true
 	}
+	pos := n.TruePos()
 	// Anycast completion: nobody closer to the target.
 	next := r.bestGreedy(n, pos, h.Target)
 	if h.FinalDst == network.NoNode && next == network.NoNode && !h.Recovering {

@@ -22,6 +22,7 @@
 package membership
 
 import (
+	"math/bits"
 	"sort"
 
 	"repro/internal/core"
@@ -89,29 +90,155 @@ func DefaultConfig() Config {
 	return Config{LocalPeriod: 1, MNTPeriod: 2, HTPeriod: 8, LocalTTL: 2.5, Header: 12, GroupEntry: 6}
 }
 
-// slotState is the membership view accumulated at one CH slot.
+// noOrigin marks an empty lane in the dense per-origin views.
+const noOrigin logicalid.CHID = -1
+
+// seqLane is one dense flood-dedup entry: the highest sequence seen
+// from the origin occupying the lane. A different origin hashing to the
+// same lane (a CH role that moved cube mid-flight, or a designation
+// change) evicts the occupant to a spill map, so the pair reproduces
+// exact per-origin map semantics at array-index cost on the hot path.
+type seqLane struct {
+	origin logicalid.CHID
+	seq    uint64
+}
+
+// seenSeq returns the highest sequence recorded for origin (0 when
+// never seen), checking the lane first and the spill map otherwise.
+func seenSeq(lanes []seqLane, idx int, origin logicalid.CHID, spill map[logicalid.CHID]uint64) uint64 {
+	if l := &lanes[idx]; l.origin == origin {
+		return l.seq
+	}
+	return spill[origin]
+}
+
+// recordSeq stores seq for origin in its lane, moving a different
+// occupant's entry to the spill map first so no origin's history is
+// lost, and dropping origin's own stale spill entry so every origin
+// lives in exactly one place across lanes and spill (the same
+// invariant setMNT keeps for the MNT views).
+func recordSeq(lanes []seqLane, idx int, origin logicalid.CHID, seq uint64, spill *map[logicalid.CHID]uint64) {
+	l := &lanes[idx]
+	if l.origin != origin {
+		if l.origin != noOrigin {
+			if *spill == nil {
+				*spill = make(map[logicalid.CHID]uint64)
+			}
+			(*spill)[l.origin] = l.seq
+		}
+		if *spill != nil {
+			delete(*spill, origin)
+		}
+	}
+	l.origin, l.seq = origin, seq
+}
+
+// hidSet is a bitset over hypercube IDs — the MT view's "which cubes
+// have members" set, stored densely so the per-reception HT merge is a
+// couple of word operations instead of nested map traffic.
+type hidSet struct {
+	bits []uint64
+	n    int
+}
+
+func newHidSet(numHID int) *hidSet {
+	return &hidSet{bits: make([]uint64, (numHID+63)/64)}
+}
+
+func (s *hidSet) has(h logicalid.HID) bool {
+	i := int(h)
+	w := i >> 6
+	return w >= 0 && w < len(s.bits) && s.bits[w]&(1<<uint(i&63)) != 0
+}
+
+func (s *hidSet) add(h logicalid.HID) {
+	if s.has(h) {
+		return
+	}
+	// HIDs are always within the numHID the set was sized for (they
+	// come from internal summary payloads); an out-of-range index is a
+	// mapping bug and panics.
+	i := int(h)
+	s.bits[i>>6] |= 1 << uint(i&63)
+	s.n++
+}
+
+func (s *hidSet) remove(h logicalid.HID) {
+	if !s.has(h) {
+		return
+	}
+	i := int(h)
+	s.bits[i>>6] &^= 1 << uint(i&63)
+	s.n--
+}
+
+// hids returns the member HIDs in ascending order.
+func (s *hidSet) hids() []logicalid.HID {
+	out := make([]logicalid.HID, 0, s.n)
+	for w, word := range s.bits {
+		for ; word != 0; word &= word - 1 {
+			out = append(out, logicalid.HID(w*64+bits.TrailingZeros64(word)))
+		}
+	}
+	return out
+}
+
+// slotState is the membership view accumulated at one CH slot. The MNT
+// and dedup views are dense lanes indexed by the origin's in-cube label
+// (MNT) or hypercube (HT) with spill maps for lane collisions; the MT
+// view is a per-group hypercube bitset. All of it is behaviorally
+// identical to the map-of-maps layout it replaced — the dense layout
+// exists because onMNT/onHT run once per flood reception, which at 10k
+// nodes is the simulator's hottest protocol-plane path.
 type slotState struct {
+	// hid is the slot's own hypercube, fixed by geometry.
+	hid logicalid.HID
+
 	// localView: group -> member nodes of this cluster with the time
 	// their report was last refreshed (from Local-Membership messages).
 	localView map[Group]map[network.NodeID]des.Time
-	// mntView: origin slot (same hypercube) -> that slot's group counts.
-	mntView map[logicalid.CHID]map[Group]int
+
+	// mnt: origin label -> that origin's group counts, with mntOrigin
+	// guarding each lane; cross-cube leftovers spill to mntSpill. The
+	// invariant is that every origin appears exactly once across lanes
+	// and spill, so iteration never double-counts.
+	mnt       []map[Group]int
+	mntOrigin []logicalid.CHID
+	mntSpill  map[logicalid.CHID]map[Group]int
+
 	// mtView: group -> hypercubes known to contain members (from
 	// HT-Summary broadcasts plus own hypercube).
-	mtView map[Group]map[logicalid.HID]bool
-	// seq tracking for flood dedup: origin slot -> highest seq seen.
-	seenMNT map[logicalid.CHID]uint64
-	seenHT  map[logicalid.CHID]uint64
+	mtView map[Group]*hidSet
+
+	// Flood dedup: seenMNT lanes by origin label, seenHT lanes by the
+	// origin's hypercube (one designated broadcaster per cube at a
+	// time).
+	seenMNT      []seqLane
+	seenHT       []seqLane
+	seenMNTSpill map[logicalid.CHID]uint64
+	seenHTSpill  map[logicalid.CHID]uint64
 }
 
-func newSlotState() *slotState {
-	return &slotState{
+func newSlotState(hid logicalid.HID, labels, numHID int) *slotState {
+	st := &slotState{
+		hid:       hid,
 		localView: make(map[Group]map[network.NodeID]des.Time),
-		mntView:   make(map[logicalid.CHID]map[Group]int),
-		mtView:    make(map[Group]map[logicalid.HID]bool),
-		seenMNT:   make(map[logicalid.CHID]uint64),
-		seenHT:    make(map[logicalid.CHID]uint64),
+		mnt:       make([]map[Group]int, labels),
+		mntOrigin: make([]logicalid.CHID, labels),
+		mtView:    make(map[Group]*hidSet),
+		seenMNT:   make([]seqLane, labels),
+		seenHT:    make([]seqLane, numHID),
 	}
+	for i := range st.mntOrigin {
+		st.mntOrigin[i] = noOrigin
+	}
+	for i := range st.seenMNT {
+		st.seenMNT[i].origin = noOrigin
+	}
+	for i := range st.seenHT {
+		st.seenHT[i].origin = noOrigin
+	}
+	return st
 }
 
 // summaryMsg is the wire form of MNT- and HT-Summary floods.
@@ -140,8 +267,14 @@ type Service struct {
 
 	joined   []map[Group]bool // by node ID
 	reported []bool           // nodes that sent a non-empty report last round
-	slots    map[logicalid.CHID]*slotState
+	slots    []*slotState     // by CH slot index (grid.Count() lanes)
+	labels   int              // 2^dim, the in-cube label space
+	numHID   int              // hypercube count of the mesh tier
 	seq      uint64
+
+	// version counts mutations of the summary views trees are computed
+	// from (the MNT and MT views); see SummaryVersion.
+	version uint64
 
 	tickers []*des.Ticker
 
@@ -164,7 +297,9 @@ func New(bb *core.Backbone, cfg Config) *Service {
 		tr:       trace.Nop,
 		joined:   make([]map[Group]bool, bb.Net().Len()),
 		reported: make([]bool, bb.Net().Len()),
-		slots:    make(map[logicalid.CHID]*slotState),
+		slots:    make([]*slotState, bb.Scheme().Grid().Count()),
+		labels:   1 << uint(bb.Scheme().Dim()),
+		numHID:   bb.Scheme().NumHypercubes(),
 	}
 	bb.HandleInner(LocalKind, s.onLocal)
 	bb.HandleInner(MNTKind, s.onMNT)
@@ -237,12 +372,87 @@ func (s *Service) Stop() {
 }
 
 func (s *Service) slot(c logicalid.CHID) *slotState {
-	st, ok := s.slots[c]
-	if !ok {
-		st = newSlotState()
+	st := s.slots[c]
+	if st == nil {
+		st = newSlotState(s.bb.Scheme().CHIDToPlace(c).HID, s.labels, s.numHID)
 		s.slots[c] = st
 	}
 	return st
+}
+
+// SummaryVersion counts mutations of the views multicast trees are
+// computed from — the per-cube MNT views (CubeMembers' input) and the
+// MT views (MTSummary's input). A tree memoized at one version is
+// guaranteed to equal a fresh computation while the version holds,
+// which is the membership half of the internal/route cache key.
+func (s *Service) SummaryVersion() uint64 { return s.version }
+
+// labelOf returns the dense lane index of an origin slot: its in-cube
+// label (unique among the origins of any one hypercube).
+func (s *Service) labelOf(origin logicalid.CHID) int {
+	return int(s.bb.Scheme().CHIDToPlace(origin).HNID)
+}
+
+// mntOf returns origin's group counts in st, or nil when unknown.
+func (s *Service) mntOf(st *slotState, origin logicalid.CHID) map[Group]int {
+	idx := s.labelOf(origin)
+	if st.mntOrigin[idx] == origin {
+		return st.mnt[idx]
+	}
+	return st.mntSpill[origin]
+}
+
+// setMNT stores origin's group counts, bumping the summary version when
+// the stored view actually changes.
+func (s *Service) setMNT(st *slotState, origin logicalid.CHID, groups map[Group]int) {
+	idx := s.labelOf(origin)
+	switch cur := st.mntOrigin[idx]; cur {
+	case origin:
+		if !equalGroupCounts(st.mnt[idx], groups) {
+			s.version++
+		}
+		st.mnt[idx] = groups
+		return
+	case noOrigin:
+	default:
+		// A different origin occupies the lane: move it to the spill map
+		// so its view survives.
+		if st.mntSpill == nil {
+			st.mntSpill = make(map[logicalid.CHID]map[Group]int)
+		}
+		st.mntSpill[cur] = st.mnt[idx]
+	}
+	// Installing origin into the lane; drop any stale spill entry so the
+	// lanes+spill iteration sees each origin exactly once.
+	delete(st.mntSpill, origin)
+	st.mntOrigin[idx], st.mnt[idx] = origin, groups
+	s.version++
+}
+
+// rangeMNT calls f for every known origin's view (lanes then spill).
+// Consumers re-derive order-sensitive outputs by sorting, as before.
+func (st *slotState) rangeMNT(f func(origin logicalid.CHID, groups map[Group]int)) {
+	for i, origin := range st.mntOrigin {
+		if origin != noOrigin {
+			f(origin, st.mnt[i])
+		}
+	}
+	for origin, groups := range st.mntSpill {
+		f(origin, groups)
+	}
+}
+
+// equalGroupCounts reports whether two group-count views are identical.
+func equalGroupCounts(a, b map[Group]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for g, c := range a {
+		if b[g] != c {
+			return false
+		}
+	}
+	return true
 }
 
 // LocalRound is Figure 5 step 2: every member MN reports its
@@ -376,8 +586,8 @@ func (s *Service) MNTRound() {
 		msg := &summaryMsg{Origin: slot, HID: place.HID, Seq: s.seq, Groups: s.MNTSummary(slot)}
 		// Record our own summary in our own view first.
 		st := s.slot(slot)
-		st.mntView[slot] = msg.Groups
-		st.seenMNT[slot] = msg.Seq
+		s.setMNT(st, slot, msg.Groups)
+		recordSeq(st.seenMNT, s.labelOf(slot), slot, msg.Seq, &st.seenMNTSpill)
 		s.floodMNT(slot, msg, ch)
 	}
 }
@@ -428,11 +638,12 @@ func (s *Service) onMNT(n *network.Node, _ network.NodeID, pkt *network.Packet) 
 		return
 	}
 	st := s.slot(slot)
-	if st.seenMNT[msg.Origin] >= msg.Seq {
+	idx := s.labelOf(msg.Origin)
+	if seenSeq(st.seenMNT, idx, msg.Origin, st.seenMNTSpill) >= msg.Seq {
 		return // duplicate
 	}
-	st.seenMNT[msg.Origin] = msg.Seq
-	st.mntView[msg.Origin] = msg.Groups
+	recordSeq(st.seenMNT, idx, msg.Origin, msg.Seq, &st.seenMNTSpill)
+	s.setMNT(st, msg.Origin, msg.Groups)
 	s.floodMNT(slot, msg, n.ID) // continue the scoped flood
 }
 
@@ -441,11 +652,11 @@ func (s *Service) onMNT(n *network.Node, _ network.NodeID, pkt *network.Packet) 
 func (s *Service) HTSummary(slot logicalid.CHID) map[Group]int {
 	st := s.slot(slot)
 	out := make(map[Group]int)
-	for _, groups := range st.mntView {
+	st.rangeMNT(func(_ logicalid.CHID, groups map[Group]int) {
 		for g, c := range groups {
 			out[g] += c
 		}
-	}
+	})
 	return out
 }
 
@@ -455,8 +666,8 @@ func (s *Service) HTSummary(slot logicalid.CHID) map[Group]int {
 // breaking ties by lowest CHID.
 func (s *Service) Designated(slot logicalid.CHID) bool {
 	scheme := s.bb.Scheme()
-	myHID := scheme.CHIDToPlace(slot).HID
 	st := s.slot(slot)
+	myHID := st.hid
 	if s.cfg.Designation == DesignateFixed {
 		// Lowest occupied CHID of the hypercube always broadcasts.
 		for _, vc := range scheme.BlockVCs(myHID) {
@@ -469,7 +680,7 @@ func (s *Service) Designated(slot logicalid.CHID) bool {
 	}
 	score := func(c logicalid.CHID) int {
 		total := 0
-		for _, cnt := range st.mntView[c] {
+		for _, cnt := range s.mntOf(st, c) {
 			total += cnt
 		}
 		if s.cfg.Designation == DesignateSelf {
@@ -479,26 +690,27 @@ func (s *Service) Designated(slot logicalid.CHID) bool {
 			if scheme.CHIDToPlace(nb).HID != myHID {
 				continue
 			}
-			for _, cnt := range st.mntView[nb] {
+			for _, cnt := range s.mntOf(st, nb) {
 				total += cnt
 			}
 		}
 		return total
 	}
 	mine := score(slot)
-	for origin := range st.mntView {
-		if origin == slot || scheme.CHIDToPlace(origin).HID != myHID {
-			continue
+	designated := true
+	st.rangeMNT(func(origin logicalid.CHID, _ map[Group]int) {
+		if !designated || origin == slot || scheme.CHIDToPlace(origin).HID != myHID {
+			return
 		}
 		if s.bb.CHNodeOf(origin) == network.NoNode {
-			continue
+			return
 		}
 		other := score(origin)
 		if other > mine || (other == mine && origin < slot) {
-			return false
+			designated = false
 		}
-	}
-	return true
+	})
+	return designated
 }
 
 // HTRound is Figure 5 step 4: each CH summarizes its MNT view and, if
@@ -519,7 +731,7 @@ func (s *Service) HTRound() {
 		s.seq++
 		msg := &summaryMsg{Origin: slot, HID: place.HID, Seq: s.seq, Groups: summary}
 		st := s.slot(slot)
-		st.seenHT[slot] = msg.Seq
+		recordSeq(st.seenHT, int(place.HID), slot, msg.Seq, &st.seenHTSpill)
 		s.floodHT(slot, msg, ch)
 	}
 }
@@ -550,10 +762,11 @@ func (s *Service) onHT(n *network.Node, _ network.NodeID, pkt *network.Packet) {
 		return
 	}
 	st := s.slot(slot)
-	if st.seenHT[msg.Origin] >= msg.Seq {
+	idx := int(msg.HID)
+	if seenSeq(st.seenHT, idx, msg.Origin, st.seenHTSpill) >= msg.Seq {
 		return
 	}
-	st.seenHT[msg.Origin] = msg.Seq
+	recordSeq(st.seenHT, idx, msg.Origin, msg.Seq, &st.seenHTSpill)
 	s.recordMT(slot, msg.HID, msg.Groups)
 	s.floodHT(slot, msg, n.ID)
 }
@@ -561,13 +774,15 @@ func (s *Service) onHT(n *network.Node, _ network.NodeID, pkt *network.Packet) {
 // recordMT merges an HT summary into a slot's MT view (Figure 5 step 5).
 func (s *Service) recordMT(slot logicalid.CHID, hid logicalid.HID, groups map[Group]int) {
 	st := s.slot(slot)
+	changed := false
 	// Clear stale claims of this hypercube first: a group that vanished
 	// from hid must not linger in the MT view.
 	for g, hids := range st.mtView {
-		if hids[hid] {
+		if hids.has(hid) {
 			if _, still := groups[g]; !still {
-				delete(hids, hid)
-				if len(hids) == 0 {
+				hids.remove(hid)
+				changed = true
+				if hids.n == 0 {
 					delete(st.mtView, g)
 				}
 			}
@@ -579,10 +794,16 @@ func (s *Service) recordMT(slot logicalid.CHID, hid logicalid.HID, groups map[Gr
 		}
 		hids, ok := st.mtView[g]
 		if !ok {
-			hids = make(map[logicalid.HID]bool)
+			hids = newHidSet(s.numHID)
 			st.mtView[g] = hids
 		}
-		hids[hid] = true
+		if !hids.has(hid) {
+			hids.add(hid)
+			changed = true
+		}
+	}
+	if changed {
+		s.version++
 	}
 	if s.trOn {
 		s.tr.Eventf(trace.Membership, float64(s.bb.Net().Sim().Now()),
@@ -591,13 +812,30 @@ func (s *Service) recordMT(slot logicalid.CHID, hid logicalid.HID, groups map[Gr
 }
 
 // MTSummary returns the hypercubes the slot believes contain members of
-// the group — Figure 6's routing input. The map is a copy.
+// the group — Figure 6's routing input. The map is a copy; tree
+// construction uses MTSummaryHIDs instead, whose slot order feeds
+// MulticastTree deterministically.
 func (s *Service) MTSummary(slot logicalid.CHID, g Group) map[logicalid.HID]bool {
 	out := make(map[logicalid.HID]bool)
-	for h := range s.slot(slot).mtView[g] {
-		out[h] = true
+	if hids := s.slot(slot).mtView[g]; hids != nil {
+		for _, h := range hids.hids() {
+			out[h] = true
+		}
 	}
 	return out
+}
+
+// MTSummaryHIDs returns the same set as MTSummary as a slice in
+// ascending HID order — the deterministic destination list handed to
+// mesh-tier tree construction (greedy MulticastTree output depends on
+// destination order, so order-sensitive consumers must never range the
+// map form).
+func (s *Service) MTSummaryHIDs(slot logicalid.CHID, g Group) []logicalid.HID {
+	hids := s.slot(slot).mtView[g]
+	if hids == nil {
+		return nil
+	}
+	return hids.hids()
 }
 
 // CubeMembers returns the CH slots within the given slot's hypercube
@@ -607,17 +845,17 @@ func (s *Service) MTSummary(slot logicalid.CHID, g Group) map[logicalid.HID]bool
 // local members.
 func (s *Service) CubeMembers(slot logicalid.CHID, g Group) []logicalid.CHID {
 	scheme := s.bb.Scheme()
-	myHID := scheme.CHIDToPlace(slot).HID
 	st := s.slot(slot)
+	myHID := st.hid
 	var out []logicalid.CHID
-	for origin, groups := range st.mntView {
+	st.rangeMNT(func(origin logicalid.CHID, groups map[Group]int) {
 		if scheme.CHIDToPlace(origin).HID != myHID {
-			continue
+			return
 		}
 		if groups[g] > 0 {
 			out = append(out, origin)
 		}
-	}
+	})
 	return network.SortedIDs(out)
 }
 
@@ -637,5 +875,9 @@ func (s *Service) GroupsAt(slot logicalid.CHID) []Group {
 // given slot attributes to the group (coverage measure for convergence
 // experiments).
 func (s *Service) HTGroupsKnown(slot logicalid.CHID, g Group) int {
-	return len(s.slot(slot).mtView[g])
+	hids := s.slot(slot).mtView[g]
+	if hids == nil {
+		return 0
+	}
+	return hids.n
 }

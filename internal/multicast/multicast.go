@@ -28,6 +28,7 @@ import (
 	"repro/internal/membership"
 	"repro/internal/meshtier"
 	"repro/internal/network"
+	"repro/internal/route"
 	"repro/internal/trace"
 	"repro/internal/vcgrid"
 )
@@ -232,9 +233,44 @@ func (s *Service) enterMeshTier(slot logicalid.CHID, uid uint64, born des.Time, 
 	s.enterCube(slot, uid, born, hdr)
 }
 
-// meshTree returns the (possibly cached) mesh-tier tree rooted at the
-// source hypercube over the hypercubes the MT-Summary lists for the
-// group.
+// versions stamps the inputs tree construction reads: CH occupancy and
+// the membership summary views (the internal/route cache key).
+func (s *Service) versions() route.Versions {
+	return route.Versions{Topo: s.bb.Clusters().Version(), Summary: s.ms.SummaryVersion()}
+}
+
+// MeshTreeAt returns the mesh-tier tree rooted at the given hypercube
+// over the hypercubes the slot's MT-Summary lists for the group,
+// memoized in the backbone's version-keyed route cache. This is THE
+// mesh-tree construction: both the data plane (under its TTL layer)
+// and the QoS admission path (internal/qos) resolve trees through it,
+// so there is exactly one compute to keep deterministic — a second
+// closure registered under the same cache key could silently diverge
+// behind first-wins caching. Callers must not modify the result.
+func (s *Service) MeshTreeAt(slot logicalid.CHID, root logicalid.HID, g membership.Group) route.MeshTree {
+	return s.bb.Trees().MeshTree(s.versions(), route.MeshKey{Group: int(g), Root: root, Slot: slot}, func() route.MeshTree {
+		mesh := s.bb.SharedMesh()
+		// The destination order shapes the greedy tree: use the sorted
+		// slice view of the MT summary, never a map range.
+		hids := s.ms.MTSummaryHIDs(slot, g)
+		dests := make([]meshtier.ID, len(hids))
+		for i, h := range hids {
+			dests[i] = int(h)
+		}
+		raw, _ := mesh.MulticastTree(int(root), dests)
+		tree := make(map[logicalid.HID]logicalid.HID, len(raw))
+		for child, parent := range raw {
+			tree[logicalid.HID(child)] = logicalid.HID(parent)
+		}
+		return tree
+	})
+}
+
+// meshTree returns the (possibly cached) mesh-tier tree for the data
+// plane. Two layers cache it: the TTL layer reproduces the paper's
+// "cache trees for future use" staleness window, and beneath it
+// MeshTreeAt memoizes the construction itself, shared with the QoS
+// admission path.
 func (s *Service) meshTree(slot logicalid.CHID, root logicalid.HID, g membership.Group) map[logicalid.HID]logicalid.HID {
 	now := s.bb.Net().Sim().Now()
 	byRoot := s.meshCache[g]
@@ -243,16 +279,7 @@ func (s *Service) meshTree(slot logicalid.CHID, root logicalid.HID, g membership
 		return c.tree
 	}
 	s.TreeComputes++
-	mesh := s.bb.Mesh()
-	var dests []meshtier.ID
-	for h := range s.ms.MTSummary(slot, g) {
-		dests = append(dests, int(h))
-	}
-	raw, _ := mesh.MulticastTree(int(root), dests)
-	tree := make(map[logicalid.HID]logicalid.HID, len(raw))
-	for child, parent := range raw {
-		tree[logicalid.HID(child)] = logicalid.HID(parent)
-	}
+	tree := s.MeshTreeAt(slot, root, g)
 	if byRoot == nil {
 		byRoot = make(map[logicalid.HID]cachedMeshTree)
 		s.meshCache[g] = byRoot
@@ -340,8 +367,10 @@ func (s *Service) cubeTree(slot logicalid.CHID, hid logicalid.HID, g membership.
 		return c.tree
 	}
 	s.TreeComputes++
-	dests := s.ms.CubeMembers(slot, g)
-	tree := s.logicalTreeWithin(hid, slot, dests)
+	tree := s.bb.Trees().CubeSlotTree(s.versions(), route.CubeKey{Cube: hid, Entry: slot, Group: int(g)}, func() route.SlotTree {
+		dests := s.ms.CubeMembers(slot, g) // sorted by construction
+		return s.logicalTreeWithin(hid, slot, dests)
+	})
 	s.cubeCache[key] = cachedCubeTree{tree: tree, entry: slot, expires: now + s.cfg.CacheTTL}
 	return tree
 }

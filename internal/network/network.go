@@ -150,16 +150,16 @@ type Node struct {
 }
 
 // RxPackets returns how many packets the node has received.
-func (n *Node) RxPackets() uint64 { return n.net.rxPkts[n.ID] }
+func (n *Node) RxPackets() uint64 { return n.net.hot[n.ID].rxPkts }
 
 // RxBytes returns how many bytes the node has received.
-func (n *Node) RxBytes() uint64 { return n.net.rxBytes[n.ID] }
+func (n *Node) RxBytes() uint64 { return n.net.hot[n.ID].rxBytes }
 
 // Up reports whether the node is alive.
-func (n *Node) Up() bool { return n.net.up[n.ID] }
+func (n *Node) Up() bool { return n.net.hot[n.ID].up }
 
 // SetHandler installs the packet receive callback.
-func (n *Node) SetHandler(h Handler) { n.net.handlers[n.ID] = h }
+func (n *Node) SetHandler(h Handler) { n.net.hot[n.ID].handler = h }
 
 // Rand returns the node's private PRNG stream.
 func (n *Node) Rand() *xrand.Rand { return n.rng }
@@ -184,20 +184,20 @@ func (n *Node) TruePos() geom.Point {
 // Recover. The node leaves the spatial index immediately, so neighbor
 // queries at the same instant already exclude it.
 func (n *Node) Fail() {
-	if !n.net.up[n.ID] {
+	if !n.net.hot[n.ID].up {
 		return
 	}
-	n.net.up[n.ID] = false
+	n.net.hot[n.ID].up = false
 	n.net.indexRemove(n.ID)
 }
 
 // Recover brings a failed node back and re-enters it into the spatial
 // index at its current true position.
 func (n *Node) Recover() {
-	if n.net.up[n.ID] {
+	if n.net.hot[n.ID].up {
 		return
 	}
-	n.net.up[n.ID] = true
+	n.net.hot[n.ID].up = true
 	n.net.indexInsert(n.ID)
 }
 
@@ -213,9 +213,6 @@ type spatialState struct {
 	// bucket and deadline were computed from.
 	cell      cellKey
 	anchorPos geom.Point
-	// exactPos memoizes TruePos at time exactAt (-1 = never computed).
-	exactPos geom.Point
-	exactAt  des.Time
 	// safeUntil is the last instant the drift bound guarantees the true
 	// position within half a cell of anchorPos.
 	safeUntil des.Time
@@ -255,14 +252,19 @@ type Network struct {
 	sp       []spatialState
 	refresh  []NodeID // index min-heap keyed by sp[id].safeUntil
 
-	// Dense per-node arrays of the delivery hot path: liveness,
-	// receive counters, and handlers, so neither deliver nor the
-	// transmit checks load the Node struct itself. up is the
+	// exact memoizes each node's true position per simulation instant.
+	// It lives apart from sp because the memo *hit* is the hot case —
+	// every candidate surviving a neighbor scan's prefilter checks it —
+	// and the 24-byte records pack ~3 nodes per cache line where the
+	// full spatialState spans two lines on its own.
+	exact []posMemo
+
+	// hot packs the delivery hot path's per-node state — liveness,
+	// receive counters, handler, and the node pointer — into one record
+	// so a delivery touches a single cache line where four parallel
+	// arrays cost four misses at 10k-node scale. hot[id].up is the
 	// authoritative liveness flag (Node.Up reads it).
-	up       []bool
-	handlers []Handler
-	rxPkts   []uint64
-	rxBytes  []uint64
+	hot []nodeHot
 
 	// One-entry neighbor-query memo. Protocol bursts query the same
 	// sender repeatedly within one instant (a CH geo-routes one
@@ -291,15 +293,35 @@ type Network struct {
 	// feeds the event scheduler's bucket sizing (des.Simulator.SetGrain).
 	grain float64
 
-	// Free lists for pooled packets, delivery records, and broadcast
-	// transmission records.
+	// deliverFn is the one method value every delivery event shares as
+	// its ScheduleCallU target.
+	deliverFn func(any, uint64)
+
+	// Free lists for pooled packets and broadcast transmission records.
 	freePkts []*Packet
-	freeDel  []*delivery
 	freeTx   []*transmission
 	// pktCheckedOut balances AcquirePacket against pool recycling; it
 	// must return to zero once the simulator drains (the leak check
 	// scenario integration tests assert at world teardown).
 	pktCheckedOut int
+}
+
+// posMemo is one node's true-position memo: pos is valid at instant at
+// (-1 = never computed).
+type posMemo struct {
+	at  des.Time
+	pos geom.Point
+}
+
+// nodeHot is the per-node record of the delivery hot path. Field order
+// keeps the three words deliver always touches (counters and handler)
+// adjacent.
+type nodeHot struct {
+	rxPkts  uint64
+	rxBytes uint64
+	handler Handler
+	node    *Node
+	up      bool
 }
 
 // cellKey addresses one cell of the dense grid.
@@ -354,6 +376,7 @@ func New(sim *des.Simulator, arena geom.Rect, rng *xrand.Rand) *Network {
 		kinds:     make(map[string]*kindCounter),
 		nbrMemoID: NoNode,
 	}
+	w.deliverFn = w.runDelivery
 	w.sizeGrid()
 	return w
 }
@@ -402,11 +425,9 @@ func (w *Network) AddNode(mob mobility.Model, rm radio.Model, receiver gps.Recei
 		pre:       rm.Precompute(),
 	}
 	w.nodes = append(w.nodes, n)
-	w.sp = append(w.sp, spatialState{heapIdx: -1, exactAt: -1, mob: mob})
-	w.up = append(w.up, true)
-	w.handlers = append(w.handlers, nil)
-	w.rxPkts = append(w.rxPkts, 0)
-	w.rxBytes = append(w.rxBytes, 0)
+	w.sp = append(w.sp, spatialState{heapIdx: -1, mob: mob})
+	w.exact = append(w.exact, posMemo{at: -1})
+	w.hot = append(w.hot, nodeHot{up: true, node: n})
 	sp := &w.sp[n.ID]
 	sp.driftSpeed, sp.driftJump = mob.DriftBound()
 	if q := n.pre.DelayQuantum(); q > 0 && (w.grain == 0 || q < w.grain) {
@@ -433,7 +454,7 @@ func (w *Network) reindexAll() {
 	w.refresh = w.refresh[:0]
 	for _, n := range w.nodes {
 		w.sp[n.ID].heapIdx = -1
-		if w.up[n.ID] {
+		if w.hot[n.ID].up {
 			w.indexInsert(n.ID)
 		}
 	}
@@ -486,16 +507,18 @@ func (w *Network) truePos(n *Node) geom.Point {
 	return w.truePosAt(n.ID, w.sim.Now())
 }
 
-// truePosAt works purely off the spatial SoA slice: the candidate loops
-// of NeighborsPos and refreshTo call it per candidate, and touching the
-// *Node there would reintroduce a pointer chase per cache line saved.
+// truePosAt works purely off the compact memo slice: the candidate
+// loops of NeighborsPos and refreshTo call it per candidate, and the
+// common case — the position was already computed this instant by an
+// earlier scan — touches one 24-byte record. Only a miss advances the
+// mobility model through the wider spatialState.
 func (w *Network) truePosAt(id NodeID, now des.Time) geom.Point {
-	sp := &w.sp[id]
-	if sp.exactAt != now {
-		sp.exactPos = sp.mob.TrueFix(float64(now)).Pos
-		sp.exactAt = now
+	e := &w.exact[id]
+	if e.at != now {
+		e.pos = w.sp[id].mob.TrueFix(float64(now)).Pos
+		e.at = now
 	}
-	return sp.exactPos
+	return e.pos
 }
 
 // safeSpan returns how long the node's bucket stays valid: the time for
@@ -689,7 +712,7 @@ func (w *Network) NeighborsAppend(id NodeID, out []NodeID) []NodeID {
 // the range check already produced.
 func (w *Network) NeighborsPos(id NodeID, ids []NodeID, pos []geom.Point) ([]NodeID, []geom.Point) {
 	n := w.Node(id)
-	if n == nil || !w.up[id] {
+	if n == nil || !w.hot[id].up {
 		return ids, pos
 	}
 	now := w.sim.Now()
@@ -756,7 +779,7 @@ func (w *Network) scanNeighbors(n *Node, now des.Time) {
 // InRange reports whether a's radio currently reaches b and both are up.
 func (w *Network) InRange(a, b NodeID) bool {
 	na, nb := w.Node(a), w.Node(b)
-	if na == nil || nb == nil || !w.up[a] || !w.up[b] {
+	if na == nil || nb == nil || !w.hot[a].up || !w.hot[b].up {
 		return false
 	}
 	return na.pre.InRange2(w.truePos(na).Dist2(w.truePos(nb)))
@@ -787,39 +810,25 @@ func (w *Network) account(n *Node, pkt *Packet) {
 	}
 }
 
-// delivery is a pooled in-flight packet hop.
-type delivery struct {
-	w        *Network
-	from, to NodeID
-	pkt      *Packet
+// packHop encodes a delivery's (from, to) pair into the scheduler's
+// unboxed event word; the packet itself rides in the event's arg slot.
+// Together they make a delivery event self-contained — no pooled
+// per-hop record, so executing it costs one less dependent cold load.
+func packHop(from, to NodeID) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
 }
 
-// runDelivery is the shared des.ScheduleCall target for all deliveries.
-func runDelivery(a any) {
-	d := a.(*delivery)
-	w, from, to, pkt := d.w, d.from, d.to, d.pkt
-	d.pkt = nil
-	w.freeDel = append(w.freeDel, d) // recycle before the handler runs
-	w.deliver(from, to, pkt)
-}
-
-func (w *Network) allocDelivery(from, to NodeID, pkt *Packet) *delivery {
-	var d *delivery
-	if n := len(w.freeDel); n > 0 {
-		d = w.freeDel[n-1]
-		w.freeDel = w.freeDel[:n-1]
-	} else {
-		d = &delivery{}
-	}
-	d.w, d.from, d.to, d.pkt = w, from, to, pkt
-	return d
+// runDelivery is the shared ScheduleCallU target for all deliveries
+// (installed once as w.deliverFn so events don't allocate closures).
+func (w *Network) runDelivery(a any, u uint64) {
+	w.deliver(NodeID(uint32(u>>32)), NodeID(uint32(u)), a.(*Packet))
 }
 
 func (w *Network) scheduleDelivery(delay des.Duration, from, to NodeID, pkt *Packet) {
 	if pkt.pooled {
 		pkt.refs++
 	}
-	w.sim.AfterCall(delay, runDelivery, w.allocDelivery(from, to, pkt))
+	w.sim.AfterCallU(delay, w.deliverFn, pkt, packHop(from, to))
 }
 
 // transmission is one pooled multi-receiver broadcast in flight: the
@@ -855,7 +864,7 @@ func runTransmission(a any) {
 		if i == min {
 			continue
 		}
-		w.sim.ScheduleCallSeq(t.at[i], t.seq+uint64(i), runDelivery, w.allocDelivery(from, to, pkt))
+		w.sim.ScheduleCallSeqU(t.at[i], t.seq+uint64(i), w.deliverFn, pkt, packHop(from, to))
 	}
 	inlineTo := t.ids[min]
 	t.pkt = nil
@@ -881,7 +890,7 @@ func (w *Network) allocTransmission() *transmission {
 func (w *Network) Unicast(from, to NodeID, pkt *Packet) bool {
 	src := w.Node(from)
 	dst := w.Node(to)
-	if src == nil || dst == nil || !w.up[from] || !w.up[to] {
+	if src == nil || dst == nil || !w.hot[from].up || !w.hot[to].up {
 		return false
 	}
 	d2 := w.truePos(src).Dist2(w.truePos(dst))
@@ -914,7 +923,7 @@ func (w *Network) Unicast(from, to NodeID, pkt *Packet) bool {
 // are bit-identical to the unbatched path.
 func (w *Network) Broadcast(from NodeID, pkt *Packet) int {
 	src := w.Node(from)
-	if src == nil || !w.up[from] {
+	if src == nil || !w.hot[from].up {
 		return 0
 	}
 	now := w.sim.Now()
@@ -946,7 +955,7 @@ func (w *Network) Broadcast(from NodeID, pkt *Packet) int {
 			if pkt.pooled {
 				pkt.refs++
 			}
-			w.sim.ScheduleCallSeq(t.at[0], w.sim.ReserveSeqs(1), runDelivery, w.allocDelivery(from, t.ids[0], pkt))
+			w.sim.ScheduleCallSeqU(t.at[0], w.sim.ReserveSeqs(1), w.deliverFn, pkt, packHop(from, t.ids[0]))
 			t.ids = t.ids[:0]
 			t.at = t.at[:0]
 		}
@@ -973,12 +982,13 @@ func (w *Network) Broadcast(from NodeID, pkt *Packet) int {
 }
 
 func (w *Network) deliver(from, to NodeID, pkt *Packet) {
-	if w.up[to] { // may have gone down while the packet was in flight
+	e := &w.hot[to]
+	if e.up { // may have gone down while the packet was in flight
 		pkt.Hops++
-		w.rxPkts[to]++
-		w.rxBytes[to] += uint64(pkt.Size)
-		if h := w.handlers[to]; h != nil {
-			h(w.nodes[to], from, pkt)
+		e.rxPkts++
+		e.rxBytes += uint64(pkt.Size)
+		if e.handler != nil {
+			e.handler(e.node, from, pkt)
 		}
 	}
 	if pkt.pooled {
@@ -1140,8 +1150,8 @@ func (w *Network) ResetTraffic() {
 	for _, n := range w.nodes {
 		n.TxPackets, n.TxBytes, n.ForwardLoad = 0, 0, 0
 	}
-	for i := range w.rxPkts {
-		w.rxPkts[i], w.rxBytes[i] = 0, 0
+	for i := range w.hot {
+		w.hot[i].rxPkts, w.hot[i].rxBytes = 0, 0
 	}
 }
 
@@ -1150,7 +1160,7 @@ func (w *Network) ResetTraffic() {
 func (w *Network) ForwardLoads() []float64 {
 	out := make([]float64, 0, len(w.nodes))
 	for _, n := range w.nodes {
-		if w.up[n.ID] {
+		if w.hot[n.ID].up {
 			out = append(out, float64(n.ForwardLoad))
 		}
 	}
@@ -1161,7 +1171,7 @@ func (w *Network) ForwardLoads() []float64 {
 func (w *Network) String() string {
 	up := 0
 	for _, n := range w.nodes {
-		if w.up[n.ID] {
+		if w.hot[n.ID].up {
 			up++
 		}
 	}

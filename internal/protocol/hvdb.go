@@ -32,9 +32,12 @@ func newHVDB(d Deps) (Stack, error) {
 	// Cluster-head churn invalidates QoS reservations held on the old
 	// heads: reconcile on every CH change so sessions release bandwidth
 	// reserved on routes that no longer exist (instead of leaking it
-	// until Close).
+	// until Close). The same event obsoletes every memoized multicast
+	// tree (their topology version moved), so the route cache releases
+	// them eagerly rather than waiting for key-by-key replacement.
 	d.CM.OnChange(func(vcgrid.VC, network.NodeID, network.NodeID) {
 		s.qm.Reconcile()
+		d.BB.Trees().InvalidateAll()
 	})
 	return s, nil
 }
@@ -56,8 +59,20 @@ func (s *hvdbStack) Stop() {
 	s.d.MS.Stop()
 }
 
-func (s *hvdbStack) Join(id network.NodeID, g Group)  { s.d.MS.Join(id, g) }
-func (s *hvdbStack) Leave(id network.NodeID, g Group) { s.d.MS.Leave(id, g) }
+// Join and Leave update the membership plane and eagerly release the
+// group's memoized trees. (Correctness never needs the hook — a
+// membership change reaches tree inputs only through summary rounds,
+// which move the cache's version key — but the entries are dead weight
+// the moment the group's population shifts.)
+func (s *hvdbStack) Join(id network.NodeID, g Group) {
+	s.d.MS.Join(id, g)
+	s.d.BB.Trees().InvalidateGroup(int(g))
+}
+
+func (s *hvdbStack) Leave(id network.NodeID, g Group) {
+	s.d.MS.Leave(id, g)
+	s.d.BB.Trees().InvalidateGroup(int(g))
+}
 
 func (s *hvdbStack) Send(src network.NodeID, g Group, payloadSize int) uint64 {
 	uid := s.d.MC.Send(src, g, payloadSize)

@@ -22,6 +22,7 @@ import (
 	"repro/internal/membership"
 	"repro/internal/multicast"
 	"repro/internal/network"
+	"repro/internal/route"
 )
 
 // Mode selects the admission discipline.
@@ -78,8 +79,19 @@ type Manager struct {
 	next     SessionID
 	sessions map[SessionID]*Session
 
+	// chMemo memoizes treeCHs per (source slot, group) at the cache's
+	// input versions — the same validity discipline as the route cache
+	// itself, via its exported Memo primitive: admission probes the
+	// same sessions repeatedly while the backbone is quiet.
+	chMemo route.Memo[chKey, []network.NodeID]
+
 	// Admitted and Rejected count admission outcomes.
 	Admitted, Rejected uint64
+}
+
+type chKey struct {
+	slot  logicalid.CHID
+	group membership.Group
 }
 
 // NewManager returns a session manager over the given stack.
@@ -87,20 +99,42 @@ func NewManager(bb *core.Backbone, ms *membership.Service, mc *multicast.Service
 	return &Manager{bb: bb, ms: ms, mc: mc, sessions: make(map[SessionID]*Session)}
 }
 
+// versions stamps the inputs tree construction reads: CH occupancy and
+// the membership summary views.
+func (m *Manager) versions() route.Versions {
+	return route.Versions{Topo: m.bb.Clusters().Version(), Summary: m.ms.SummaryVersion()}
+}
+
 // treeCHs computes the set of CH nodes the session's multicast trees
 // would cross from the given source slot: the mesh-tier tree over the
 // member-bearing hypercubes plus, within each crossed hypercube, the
 // hypercube-tier tree over member CH slots (mirroring Figure 6's two
-// tiers).
+// tiers). The result is memoized per input version through the
+// backbone's route cache; callers must not modify the returned slice.
 func (m *Manager) treeCHs(srcSlot logicalid.CHID, g membership.Group) []network.NodeID {
-	scheme := m.bb.Scheme()
-	rootHID := scheme.CHIDToPlace(srcSlot).HID
-	mesh := m.bb.Mesh()
-	var dests []int
-	for h := range m.ms.MTSummary(srcSlot, g) {
-		dests = append(dests, int(h))
+	v := m.versions()
+	key := chKey{slot: srcSlot, group: g}
+	if !m.bb.Trees().Bypassed() {
+		if chs, ok := m.chMemo.Get(v, key); ok {
+			return chs
+		}
 	}
-	meshTree, _ := mesh.MulticastTree(int(rootHID), dests)
+	chs := m.computeTreeCHs(v, srcSlot, g)
+	if !m.bb.Trees().Bypassed() {
+		m.chMemo.Put(v, key, chs)
+	}
+	return chs
+}
+
+func (m *Manager) computeTreeCHs(v route.Versions, srcSlot logicalid.CHID, g membership.Group) []network.NodeID {
+	scheme := m.bb.Scheme()
+	trees := m.bb.Trees()
+	rootHID := scheme.CHIDToPlace(srcSlot).HID
+	// The mesh tree comes from the data plane's one shared construction
+	// (multicast.MeshTreeAt) through the same version-keyed cache entry
+	// the data plane uses — admission and routing can never disagree on
+	// a tree.
+	meshTree := m.mc.MeshTreeAt(srcSlot, rootHID, g)
 
 	seen := map[network.NodeID]bool{}
 	var out []network.NodeID
@@ -110,31 +144,32 @@ func (m *Manager) treeCHs(srcSlot logicalid.CHID, g membership.Group) []network.
 			out = append(out, id)
 		}
 	}
-	for hid := range meshTree {
-		h := logicalid.HID(hid)
-		cube := m.bb.Cube(h)
+	// Iterate the mesh tree in HID order. The per-cube work is
+	// independent and out is deduplicated and sorted below, so this is
+	// for clarity, not correctness.
+	for _, h := range sortedHIDs(meshTree) {
+		cube := m.bb.SharedCube(h)
 		// Entry label: the source label in the root cube, else the
 		// geographically nearest CH slot (as the data plane picks).
 		entry := scheme.CHIDToPlace(srcSlot).HNID
+		entrySlot := srcSlot
 		if h != rootHID {
 			labels := cube.Labels()
 			if len(labels) == 0 {
 				continue
 			}
 			entry = labels[0]
+			entryVC := scheme.VCAt(h, entry)
+			entrySlot = logicalid.CHID(scheme.Grid().Index(entryVC))
 		}
-		var cubeDests []logicalid.CHID
 		// Members of this cube per the *cube-local* view at its entry
 		// slot; the admission view uses the source's MNT view for its
 		// own cube and the HT-derived existence for others.
-		if h == rootHID {
-			cubeDests = m.ms.CubeMembers(srcSlot, g)
-		} else {
-			entryVC := scheme.VCAt(h, entry)
-			entrySlot := logicalid.CHID(scheme.Grid().Index(entryVC))
-			cubeDests = m.ms.CubeMembers(entrySlot, g)
-		}
-		tree, _ := cube.MulticastTree(entry, chidsToLabels(scheme, cubeDests))
+		tree := trees.CubeLabelTree(v, route.CubeKey{Cube: h, Entry: entrySlot, Group: int(g)}, func() route.LabelTree {
+			cubeDests := m.ms.CubeMembers(entrySlot, g) // sorted by construction
+			t, _ := cube.MulticastTree(entry, chidsToLabels(scheme, cubeDests))
+			return t
+		})
 		for l := range tree {
 			vc := scheme.VCAt(h, l)
 			if scheme.Grid().Valid(vc) {
@@ -144,6 +179,16 @@ func (m *Manager) treeCHs(srcSlot logicalid.CHID, g membership.Group) []network.
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// sortedHIDs returns the tree's hypercubes in ascending order (via the
+// shared sorted-ID helper, like every other order-sensitive tree walk).
+func sortedHIDs(tree route.MeshTree) []logicalid.HID {
+	out := make([]logicalid.HID, 0, len(tree))
+	for h := range tree {
+		out = append(out, h)
+	}
+	return network.SortedIDs(out)
 }
 
 func chidsToLabels(scheme *logicalid.Scheme, slots []logicalid.CHID) []hypercube.Label {

@@ -1,10 +1,12 @@
 package qos_test
 
 import (
+	"slices"
 	"testing"
 
 	"repro/internal/logicalid"
 	"repro/internal/membership"
+	"repro/internal/network"
 	"repro/internal/qos"
 	"repro/internal/scenario"
 )
@@ -148,5 +150,65 @@ func TestTreeCHsSpanMemberCubes(t *testing.T) {
 	chs := m.TreeCHs(logicalid.CHID(grid.Index(vc)), membership.Group(0))
 	if len(chs) < 2 {
 		t.Fatalf("tree spans only %d CHs for an 8-member group", len(chs))
+	}
+}
+
+// TestHardAdmissionDeterministic is the ISSUE 5 headline regression
+// test: the CH set a session reserves must be a pure function of the
+// protocol state, never of map iteration order. The original bug fed
+// mesh.MulticastTree a destination list built by ranging the MT-Summary
+// map; greedy tree construction depends on destination order, so two
+// admissions under identical state could reserve different CH sets.
+// The test fails some anchors first (incomplete cubes force the tree
+// builders through their fallback paths, where insertion order shapes
+// the tree) and then reruns Hard-mode admission many times with the
+// route cache bypassed, so every iteration reconstructs its trees from
+// scratch.
+func TestHardAdmissionDeterministic(t *testing.T) {
+	w, m := buildWorld(t)
+	defer w.Stop()
+	w.FailRandomAnchors(6)
+	w.Sim.RunUntil(w.Sim.Now() + 10) // let elections and summaries settle
+	src := w.RandomSource()
+
+	w.BB.Trees().SetBypass(true)
+	var want []network.NodeID
+	for i := 0; i < 50; i++ {
+		s, err := m.Open(src, 0, 1e3, qos.Hard)
+		if err != nil {
+			t.Fatalf("iteration %d: admission failed: %v", i, err)
+		}
+		got := append([]network.NodeID(nil), s.Reserved...)
+		m.Close(s.ID) // release so capacity stays constant across iterations
+		if i == 0 {
+			if len(got) == 0 {
+				t.Fatal("first admission reserved nothing; test world too small")
+			}
+			want = got
+			continue
+		}
+		if !slices.Equal(got, want) {
+			t.Fatalf("iteration %d reserved %v, iteration 0 reserved %v", i, got, want)
+		}
+	}
+
+	// The memoized path must agree with the from-scratch computes.
+	w.BB.Trees().SetBypass(false)
+	for i := 0; i < 2; i++ { // second pass exercises the cache hit
+		s, err := m.Open(src, 0, 1e3, qos.Hard)
+		if err != nil {
+			t.Fatalf("cached admission failed: %v", err)
+		}
+		if !slices.Equal(s.Reserved, want) {
+			t.Fatalf("cached admission reserved %v, fresh computes reserved %v", s.Reserved, want)
+		}
+		m.Close(s.ID)
+	}
+	// The first cached admission populated the route cache (the second
+	// short-circuits at the manager's own versioned memo, which is the
+	// point: admission re-probes are free while versions hold).
+	if w.BB.Trees().Misses == 0 || w.BB.Trees().Len() == 0 {
+		t.Fatalf("cached admission never went through the route cache (misses=%d len=%d)",
+			w.BB.Trees().Misses, w.BB.Trees().Len())
 	}
 }

@@ -1,0 +1,157 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/logicalid"
+)
+
+func TestCacheHitMissAndVersionReplacement(t *testing.T) {
+	var c Cache
+	v1 := Versions{Topo: 1, Summary: 1}
+	k := MeshKey{Group: 0, Root: 2, Slot: 7}
+	computes := 0
+	compute := func() MeshTree {
+		computes++
+		return MeshTree{2: 2}
+	}
+
+	t1 := c.MeshTree(v1, k, compute)
+	if computes != 1 || c.Misses != 1 || c.Hits != 0 {
+		t.Fatalf("first lookup: computes=%d hits=%d misses=%d", computes, c.Hits, c.Misses)
+	}
+	t2 := c.MeshTree(v1, k, compute)
+	if computes != 1 || c.Hits != 1 {
+		t.Fatalf("second lookup should hit: computes=%d hits=%d", computes, c.Hits)
+	}
+	// Hits share the stored tree: caching is memoization, not copying.
+	if len(t1) != 1 || len(t2) != 1 || t2[2] != 2 {
+		t.Fatalf("hit returned wrong tree %v", t2)
+	}
+
+	// A version move replaces the entry in place — no unbounded growth.
+	v2 := Versions{Topo: 2, Summary: 1}
+	c.MeshTree(v2, k, compute)
+	if computes != 2 {
+		t.Fatal("topology version move must recompute")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("stale entry not replaced: len=%d", c.Len())
+	}
+	c.MeshTree(Versions{Topo: 2, Summary: 9}, k, compute)
+	if computes != 3 {
+		t.Fatal("summary version move must recompute")
+	}
+}
+
+func TestCacheKeysAreIndependent(t *testing.T) {
+	var c Cache
+	v := Versions{Topo: 1, Summary: 1}
+	c.MeshTree(v, MeshKey{Group: 0, Root: 1, Slot: 4}, func() MeshTree { return MeshTree{1: 1} })
+	c.MeshTree(v, MeshKey{Group: 1, Root: 1, Slot: 4}, func() MeshTree { return MeshTree{1: 1} })
+	c.CubeSlotTree(v, CubeKey{Cube: 1, Entry: 4, Group: 0}, func() SlotTree { return SlotTree{4: 4} })
+	c.CubeLabelTree(v, CubeKey{Cube: 1, Entry: 4, Group: 0}, func() LabelTree { return LabelTree{0: 0} })
+	if c.Len() != 4 {
+		t.Fatalf("expected 4 independent entries, got %d", c.Len())
+	}
+	// The same CubeKey addresses different namespaces for the two cube
+	// tree families.
+	if c.Misses != 4 {
+		t.Fatalf("misses=%d want 4", c.Misses)
+	}
+}
+
+func TestCacheBypassRecomputes(t *testing.T) {
+	var c Cache
+	v := Versions{Topo: 1, Summary: 1}
+	k := MeshKey{Group: 0, Root: 0, Slot: 0}
+	computes := 0
+	compute := func() MeshTree { computes++; return nil }
+	c.SetBypass(true)
+	if !c.Bypassed() {
+		t.Fatal("bypass flag lost")
+	}
+	c.MeshTree(v, k, compute)
+	c.MeshTree(v, k, compute)
+	if computes != 2 {
+		t.Fatalf("bypass must recompute every lookup, computes=%d", computes)
+	}
+	if c.Len() != 0 {
+		t.Fatal("bypass must not store entries")
+	}
+	c.SetBypass(false)
+	c.MeshTree(v, k, compute)
+	c.MeshTree(v, k, compute)
+	if computes != 3 {
+		t.Fatal("re-enabled cache should memoize again")
+	}
+}
+
+func TestCacheInvalidation(t *testing.T) {
+	var c Cache
+	v := Versions{Topo: 1, Summary: 1}
+	mk := func(g int) MeshKey { return MeshKey{Group: g, Root: 0, Slot: 0} }
+	ck := func(g int) CubeKey { return CubeKey{Cube: 0, Entry: 0, Group: g} }
+	for g := 0; g < 3; g++ {
+		c.MeshTree(v, mk(g), func() MeshTree { return nil })
+		c.CubeSlotTree(v, ck(g), func() SlotTree { return nil })
+		c.CubeLabelTree(v, ck(g), func() LabelTree { return nil })
+	}
+	if c.Len() != 9 {
+		t.Fatalf("len=%d want 9", c.Len())
+	}
+	c.InvalidateGroup(1)
+	if c.Len() != 6 {
+		t.Fatalf("group eviction left len=%d want 6", c.Len())
+	}
+	if c.Invalidated != 3 {
+		t.Fatalf("Invalidated=%d want 3", c.Invalidated)
+	}
+	c.InvalidateAll()
+	if c.Len() != 0 || c.Invalidated != 9 {
+		t.Fatalf("InvalidateAll left len=%d invalidated=%d", c.Len(), c.Invalidated)
+	}
+	// Evicted keys recompute on next lookup.
+	misses := c.Misses
+	c.MeshTree(v, mk(0), func() MeshTree { return nil })
+	if c.Misses != misses+1 {
+		t.Fatal("evicted key should miss")
+	}
+}
+
+func TestSnapshotMemoTTL(t *testing.T) {
+	var m SnapshotMemo[int, int]
+	computes := 0
+	get := func(now des.Time) int {
+		return m.Get(now, 2, 7, func() int { computes++; return computes })
+	}
+	if got := get(0); got != 1 {
+		t.Fatalf("first get %d want 1", got)
+	}
+	if got := get(2); got != 1 {
+		t.Fatalf("within TTL got %d want cached 1", got)
+	}
+	if m.Hits != 1 || m.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", m.Hits, m.Misses)
+	}
+	if got := get(2.5); got != 2 {
+		t.Fatalf("past TTL got %d want recomputed 2", got)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len=%d want 1", m.Len())
+	}
+}
+
+// TestKeyTypes pins the key fields to the logical identifier types so a
+// refactor cannot silently widen or narrow the cache key space.
+func TestKeyTypes(t *testing.T) {
+	k := MeshKey{Group: 1, Root: logicalid.HID(2), Slot: logicalid.CHID(3)}
+	if k.Root != 2 || k.Slot != 3 {
+		t.Fatal("mesh key fields scrambled")
+	}
+	ck := CubeKey{Cube: logicalid.HID(1), Entry: logicalid.CHID(2), Group: 3}
+	if ck.Cube != 1 || ck.Entry != 2 {
+		t.Fatal("cube key fields scrambled")
+	}
+}

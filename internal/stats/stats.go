@@ -3,6 +3,24 @@
 // histograms, Jain's fairness index (the paper's load-balancing claim is
 // quantified with it), and Student-t confidence intervals across
 // replicated runs.
+//
+// # The empty-sample contract
+//
+// Scenario runs can legitimately produce no observations — a script
+// whose flows all fail delivers zero packets — and the metrics pipeline
+// must render such runs as defined numbers, never NaN or a panic. Every
+// reduction here therefore has a pinned empty-input result:
+//
+//   - Accumulator and Sample moments (Mean, Std, Var, Min, Max) are 0;
+//   - Sample.Percentile and Sample.Median are 0;
+//   - JainIndex of no loads is 0 (no flows — fairness is undefined and
+//     reported as the out-of-range sentinel), while all-zero loads are
+//     perfectly even and report 1;
+//   - CoefficientOfVariation of an empty or zero-mean input is 0;
+//   - MeanCI of fewer than two samples has half-width 0.
+//
+// Consumers (scenario.RunScript, the experiment tables) rely on these
+// values instead of re-guarding at every call site.
 package stats
 
 import (

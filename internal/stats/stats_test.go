@@ -99,10 +99,27 @@ func TestSamplePercentiles(t *testing.T) {
 	}
 }
 
+// TestSampleEmpty pins the package's empty-sample contract (see the
+// package comment): zero-observation reductions are 0, never NaN.
 func TestSampleEmpty(t *testing.T) {
 	var s Sample
 	if s.Percentile(50) != 0 || s.Mean() != 0 || s.Std() != 0 {
 		t.Fatal("empty sample should report zeros")
+	}
+	if s.Median() != 0 || s.Percentile(0) != 0 || s.Percentile(95) != 0 || s.Percentile(100) != 0 {
+		t.Fatal("empty percentiles should report zeros")
+	}
+	if s.N() != 0 {
+		t.Fatal("empty sample has observations")
+	}
+	if got := CoefficientOfVariation(nil); got != 0 {
+		t.Fatalf("empty CoV %v want 0", got)
+	}
+	if mean, hw := MeanCI(nil); mean != 0 || hw != 0 {
+		t.Fatalf("empty MeanCI (%v, %v) want zeros", mean, hw)
+	}
+	if mean, hw := MeanCI([]float64{3}); mean != 3 || hw != 0 {
+		t.Fatalf("single-sample MeanCI (%v, %v) want (3, 0)", mean, hw)
 	}
 }
 
