@@ -1,0 +1,82 @@
+// Command hvdblint runs the repository's determinism-lint suite
+// (internal/lint) over Go package patterns: the maporder, seedsource,
+// and poolpair analyzers that keep unordered map iteration, ambient
+// entropy, and pool leaks out of simulation state (see DESIGN.md
+// "Determinism lint").
+//
+// Exit status: 0 clean, 1 unsuppressed diagnostics found, 2 bad usage
+// (unknown flag, unknown package pattern, or load failure) — the same
+// convention as hvdbsim/hvdbmap/hvdbbench.
+//
+// Example:
+//
+//	hvdblint ./...
+//	hvdblint -suppressed ./internal/qos
+//	hvdblint -json ./... | jq '.[].file'
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut    = flag.Bool("json", false, "emit diagnostics as a JSON array for tooling")
+		suppressed = flag.Bool("suppressed", false, "also list annotated (suppressed) sites with their reasons")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: hvdblint [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hvdblint: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(dir, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hvdblint: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	res := lint.Analyze(pkgs)
+
+	out := res.Diags
+	if *suppressed {
+		out = append(out, res.Suppressed...)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if out == nil {
+			out = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "hvdblint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range out {
+			if d.Suppressed {
+				fmt.Printf("%s [suppressed: %s]\n", d, d.Reason)
+				continue
+			}
+			fmt.Println(d)
+		}
+	}
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "hvdblint: %d unsuppressed diagnostic(s) in %d package(s)\n", len(res.Diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -436,6 +436,7 @@ func (b *Backbone) exportEntries(slot logicalid.CHID, now des.Time, arena []beac
 	t := b.table(slot)
 	start := len(arena)
 	arena = append(arena, beaconEntry{Dest: slot, Hops: 0, Delay: 0, Bandwidth: 1e12})
+	//hvdb:unordered wire order of beacon entries is not observable: onBeacon merges each entry into the receiver's table keyed by Dest (per-dest independent), and within a dest sortRoutes keeps canonical order
 	for dest, routes := range t.routes {
 		var best *Route
 		for i := range routes {

@@ -1,0 +1,68 @@
+// Package lint is the repository's determinism-lint suite: a small,
+// dependency-free go/analysis-style framework plus three analyzers that
+// make the map-order bug class — unordered map iteration leaking into
+// ordered simulation state — a compile-time error instead of a raced
+// rerun finding.
+//
+// The repository's two real protocol bugs to date were the same bug:
+// PR 3's transmission scheduling and PR 5's greedy-tree destination
+// lists both ranged a Go map and let the per-element effect escape into
+// something order-sensitive (a packet send draws from the sender's loss
+// stream; a greedy tree depends on destination order). The standing
+// contract — byte-identical tables at any worker or shard count — was
+// defended only dynamically. These analyzers defend it statically.
+//
+// # Analyzers
+//
+//   - MapOrder flags `for range` over a map whose per-element effect
+//     escapes the loop into an ordering-sensitive sink: a DES schedule
+//     or transmission call, an append to a slice declared outside the
+//     loop that is never sorted in the enclosing function, an emitted
+//     table row (fmt.Fprintf and friends, strings.Builder writes), or a
+//     floating-point reduction (float += is not associative, so even a
+//     "commutative" sum is order-observable in the last ulp). The
+//     collect-then-sort idiom (append into a slice that the same
+//     function passes to sort.*, slices.Sort*, network.SortedIDs,
+//     network.Children, or membership.MTSummaryHIDs) is recognized and
+//     not flagged.
+//
+//   - SeedSource bans wall-clock and ambient randomness in simulation
+//     packages: importing math/rand, math/rand/v2, or crypto/rand, and
+//     calling time.Now/Since/Sleep/Tick/... . Simulated randomness must
+//     flow through internal/xrand streams derived positionally with
+//     runner.DeriveSeed; simulated time comes from the des clock.
+//
+//   - PoolPair is a flow-insensitive lifecycle check for pooled
+//     acquires (network.AcquirePacket and any Acquire* method): within
+//     a function, every acquired value must reach a Release* call or a
+//     recognized handoff (returned, stored, or passed to another
+//     call that takes over the reference). The dynamic invariant
+//     PooledInFlight()==0 only fires at teardown; this catches the
+//     leak at the line that drops the reference.
+//
+// # Suppression annotations
+//
+// Each analyzer has one annotation key; a site that is legitimately
+// exempt carries a line comment either trailing the flagged line or
+// alone on the line directly above it:
+//
+//	//hvdb:unordered <reason>   (MapOrder)
+//	//hvdb:wallclock <reason>   (SeedSource)
+//	//hvdb:handoff <reason>     (PoolPair)
+//
+// The reason is mandatory: a bare annotation is itself a diagnostic,
+// so every exemption in the tree documents why it is safe. Annotations
+// are deliberately line-scoped — there is no file- or package-wide
+// opt-out — because the bug class is per-loop, not per-file.
+//
+// # Driver
+//
+// Load resolves package patterns with `go list` and type-checks them
+// from source (dependencies with bodies ignored), so the suite needs
+// no network and no external modules. Analyze runs analyzers over the
+// loaded packages and resolves suppressions. cmd/hvdblint is the CLI;
+// TestRepoLintClean in this package asserts zero unsuppressed
+// diagnostics over ./... on every `go test`, so the lint is enforced
+// even off-CI. See DESIGN.md "Determinism lint" for the sink model and
+// for how to add a new analyzer.
+package lint

@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"fmt"
+
+	"repro/internal/lint"
+)
+
+// ExampleAnalyzeSource shows the minimal maporder diagnostic: a map
+// iteration whose per-element effect (an append into an ordered
+// destination list — the PR 5 greedy-tree bug shape) escapes unsorted.
+func ExampleAnalyzeSource() {
+	const src = `package sim
+
+func dests(members map[int]bool) []int {
+	var out []int
+	for id := range members {
+		out = append(out, id)
+	}
+	return out
+}
+`
+	res, err := lint.AnalyzeSource("repro/internal/sim", "sim.go", src, lint.MapOrder)
+	if err != nil {
+		panic(err)
+	}
+	for _, d := range res.Diags {
+		fmt.Println(d)
+	}
+	// Output:
+	// sim.go:5:2: maporder: range over map: appends to out, which this function never sorts; iterate a sorted slice (network.SortedIDs) or annotate //hvdb:unordered <reason>
+}

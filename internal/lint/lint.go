@@ -1,0 +1,219 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check. It mirrors the golang.org/x/tools
+// go/analysis shape (Name, Doc, Run over a Pass) so the suite can move
+// onto the upstream framework wholesale if the dependency ever becomes
+// available; until then the driver in this package is the multichecker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -json output.
+	Name string
+	// Doc is the one-paragraph description printed by hvdblint -help.
+	Doc string
+	// SuppressKey is the annotation key that exempts a flagged line:
+	// a comment `//hvdb:<SuppressKey> <reason>` trailing the line or
+	// alone on the line directly above it.
+	SuppressKey string
+	// Run reports diagnostics for one type-checked package.
+	Run func(*Pass)
+}
+
+// A Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, positioned for editors (file:line:col).
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	// Suppressed reports that a matching //hvdb:<key> annotation
+	// covers the line; Reason is the annotation's text.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// A Result is the outcome of Analyze: Diags must be empty for the tree
+// to be lint-clean; Suppressed records the annotated sites so tooling
+// can audit the exemption inventory.
+type Result struct {
+	// Diags are the unsuppressed diagnostics, sorted by position.
+	// They include annotation-policy violations (a bare //hvdb:<key>
+	// with no reason), which cannot themselves be suppressed.
+	Diags []Diagnostic
+	// Suppressed are diagnostics covered by a reasoned annotation.
+	Suppressed []Diagnostic
+}
+
+// Analyzers returns the full determinism suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{MapOrder, SeedSource, PoolPair}
+}
+
+// annotationPrefix introduces a suppression comment. The key follows
+// immediately (no space, mirroring //go:build), then the reason.
+const annotationPrefix = "//hvdb:"
+
+// suppression is one parsed //hvdb:<key> comment.
+type suppression struct {
+	key    string
+	reason string
+	file   string
+	line   int
+	pos    token.Pos
+	used   bool
+}
+
+// parseSuppressions scans a file's comments for //hvdb:<key> markers.
+func parseSuppressions(fset *token.FileSet, f *ast.File) []*suppression {
+	var out []*suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, annotationPrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, annotationPrefix)
+			// Allow linttest want-expectations to share the comment:
+			// the reason ends where a `// want` clause begins.
+			if i := strings.Index(rest, "// want"); i >= 0 {
+				rest = rest[:i]
+			}
+			key, reason, _ := strings.Cut(rest, " ")
+			pos := fset.Position(c.Pos())
+			out = append(out, &suppression{
+				key:    key,
+				reason: strings.TrimSpace(reason),
+				file:   pos.Filename,
+				line:   pos.Line,
+				pos:    c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// Analyze runs the analyzers over the packages and resolves
+// suppression annotations. A suppression at line L covers matching
+// diagnostics at line L (trailing comment) and line L+1 (comment alone
+// above the flagged statement).
+func Analyze(pkgs []*Package, analyzers ...*Analyzer) *Result {
+	if len(analyzers) == 0 {
+		analyzers = Analyzers()
+	}
+	res := &Result{}
+	for _, pkg := range pkgs {
+		var sups []*suppression
+		keys := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			keys[a.SuppressKey] = true
+		}
+		for _, f := range pkg.Files {
+			sups = append(sups, parseSuppressions(pkg.Fset, f)...)
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if s := matchSuppression(sups, a.SuppressKey, d); s != nil && s.reason != "" {
+					d.Suppressed, d.Reason = true, s.reason
+					s.used = true
+					res.Suppressed = append(res.Suppressed, d)
+					continue
+				}
+				res.Diags = append(res.Diags, d)
+			}
+		}
+		// Annotation policy: every annotation carries a reason, and
+		// unknown keys are typos, not silent no-ops.
+		for _, s := range sups {
+			pos := pkg.Fset.Position(s.pos)
+			switch {
+			case !keys[s.key]:
+				res.Diags = append(res.Diags, Diagnostic{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: "annotation",
+					Message:  fmt.Sprintf("unknown suppression key %q (known: unordered, wallclock, handoff)", s.key),
+				})
+			case s.reason == "":
+				res.Diags = append(res.Diags, Diagnostic{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: "annotation",
+					Message:  fmt.Sprintf("//hvdb:%s needs a reason: every exemption documents why the site is safe", s.key),
+				})
+			case !s.used:
+				res.Diags = append(res.Diags, Diagnostic{
+					File: pos.Filename, Line: pos.Line, Col: pos.Column,
+					Analyzer: "annotation",
+					Message:  fmt.Sprintf("//hvdb:%s suppresses nothing here; the site is clean, drop the stale annotation", s.key),
+				})
+			}
+		}
+	}
+	sortDiags(res.Diags)
+	sortDiags(res.Suppressed)
+	return res
+}
+
+func matchSuppression(sups []*suppression, key string, d Diagnostic) *suppression {
+	for _, s := range sups {
+		if s.key == key && s.file == d.File && (s.line == d.Line || s.line == d.Line-1) {
+			return s
+		}
+	}
+	return nil
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, parsed, type-checked package ready for
+// analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Load resolves patterns (./..., repro/internal/qos, ...) with
+// `go list` run in dir, then parses and type-checks every matched
+// package from source. Dependencies — the standard library included —
+// are type-checked with function bodies ignored, so loading needs no
+// compiled export data, no module downloads, and no network: exactly
+// what the offline container provides. Test files are not loaded; the
+// determinism contract governs simulation state, which lives in
+// non-test code (DESIGN.md "Determinism lint").
+//
+// A pattern that matches nothing or names an unknown package is an
+// error (the CLI turns it into exit 2 + usage).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newImporter(fset)
+	var pkgs []*Package
+	for _, m := range metas {
+		if len(m.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(m.GoFiles))
+		for _, name := range m.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{Importer: importerFrom{imp, m.Dir}}
+		tpkg, err := conf.Check(m.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", m.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			ImportPath: m.ImportPath,
+			Dir:        m.Dir,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	return pkgs, nil
+}
+
+// listMeta is the slice of `go list -json` output the loader needs.
+type listMeta struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+}
+
+func goList(dir string, patterns []string) ([]listMeta, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+	var metas []listMeta
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var m listMeta
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// importer type-checks dependency packages from source on demand,
+// caching by import path. Bodies are ignored — dependencies only
+// contribute their API — which keeps a full ./... load a few seconds
+// even though it type-checks the transitive standard library.
+type importer struct {
+	fset *token.FileSet
+	ctxt build.Context
+	pkgs map[string]*types.Package
+}
+
+func newImporter(fset *token.FileSet) *importer {
+	ctxt := build.Default
+	// Pure-Go file sets only: with cgo enabled go/build would select
+	// cgo variants of net/os/user whose Go files don't type-check
+	// standalone. The repository itself is cgo-free.
+	ctxt.CgoEnabled = false
+	return &importer{fset: fset, ctxt: ctxt, pkgs: map[string]*types.Package{}}
+}
+
+// importerFrom binds the shared importer to the directory of the
+// importing package, which is how go/build resolves relative and
+// module-local import paths.
+type importerFrom struct {
+	imp    *importer
+	srcDir string
+}
+
+func (i importerFrom) Import(path string) (*types.Package, error) {
+	return i.imp.importFrom(path, i.srcDir)
+}
+
+func (im *importer) importFrom(path, srcDir string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	bp, err := im.ctxt.Import(path, srcDir, 0)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := im.pkgs[bp.ImportPath]; ok {
+		return pkg, nil
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(im.fset, filepath.Join(bp.Dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{
+		Importer:         importerFrom{im, bp.Dir},
+		IgnoreFuncBodies: true,
+		// Dependency packages may use newer stdlib internals than the
+		// module's language version; they are not what we analyze.
+	}
+	pkg, err := conf.Check(bp.ImportPath, im.fset, files, nil)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking dependency %s: %w", bp.ImportPath, err)
+	}
+	im.pkgs[bp.ImportPath] = pkg
+	return pkg, nil
+}

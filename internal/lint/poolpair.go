@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PoolPair is a flow-insensitive lifecycle check for pooled acquires:
+// within a function, every value returned by an Acquire* call
+// (network.AcquirePacket and friends) must reach a Release* call or a
+// recognized ownership handoff. The dynamic counterpart —
+// network.PooledInFlight()==0 asserted at teardown — only fires after
+// a whole run; this catches the leak at the line that drops the last
+// reference.
+//
+// A handoff is any use that can transfer the reference out of the
+// function: returning the value, passing it to a call (Broadcast,
+// AdoptPacket, a constructor), storing it into a field, slice, map, or
+// other variable, sending it on a channel, or taking its address.
+// Reads (p.Dst, p.Size()) keep the reference local. A function whose
+// acquired value is neither released nor handed off definitely leaks
+// one pool reference per call.
+//
+// Deliberate leak-or-transfer sites the analyzer cannot see through
+// carry `//hvdb:handoff <reason>`.
+var PoolPair = &Analyzer{
+	Name:        "poolpair",
+	SuppressKey: "handoff",
+	Doc: "every pooled Acquire* in a function must reach a Release* or an " +
+		"ownership handoff (return, store, call argument) on some path",
+	Run: runPoolPair,
+}
+
+func runPoolPair(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				poolPairFunc(pass, fd.Body)
+			}
+		}
+	}
+}
+
+func isAcquireCall(call *ast.CallExpr) bool {
+	return strings.HasPrefix(calleeName(call), "Acquire")
+}
+
+func poolPairFunc(pass *Pass, body *ast.BlockStmt) {
+	// Pass 1: find acquire sites and how their results bind.
+	acquired := map[types.Object]*ast.CallExpr{}
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isAcquireCall(call) {
+			return true
+		}
+		switch parent := parentOf(stack).(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "%s result discarded: the pool reference can never be released", calleeName(call))
+		case *ast.AssignStmt:
+			for i, rhs := range parent.Rhs {
+				if rhs != ast.Expr(call) || i >= len(parent.Lhs) {
+					continue
+				}
+				id, ok := parent.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue // field/index destination: a store, i.e. a handoff
+				}
+				if id.Name == "_" {
+					pass.Reportf(call.Pos(), "%s result assigned to _: the pool reference can never be released", calleeName(call))
+					continue
+				}
+				if obj := pass.Info.ObjectOf(id); obj != nil {
+					acquired[obj] = call
+				}
+			}
+		case *ast.ValueSpec:
+			for i, rhs := range parent.Values {
+				if rhs != ast.Expr(call) || i >= len(parent.Names) {
+					continue
+				}
+				if obj := pass.Info.ObjectOf(parent.Names[i]); obj != nil {
+					acquired[obj] = call
+				}
+			}
+		}
+		return true
+	})
+	if len(acquired) == 0 {
+		return
+	}
+
+	// Pass 2: classify every other use of each acquired variable.
+	type fate struct{ released, handedOff bool }
+	fates := map[types.Object]*fate{}
+	for obj := range acquired {
+		fates[obj] = &fate{}
+	}
+	stack = stack[:0]
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		f, tracked := fates[obj]
+		if !tracked {
+			return true
+		}
+		switch parent := parentOf(stack).(type) {
+		case *ast.CallExpr:
+			for _, arg := range parent.Args {
+				if arg == ast.Expr(id) {
+					if strings.HasPrefix(calleeName(parent), "Release") {
+						f.released = true
+					} else {
+						f.handedOff = true
+					}
+				}
+			}
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
+			f.handedOff = true
+		case *ast.UnaryExpr:
+			if parent.Op.String() == "&" {
+				f.handedOff = true
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range parent.Rhs {
+				if rhs == ast.Expr(id) {
+					f.handedOff = true // stored into another variable/field
+				}
+			}
+		}
+		return true
+	})
+	for obj, f := range fates {
+		if !f.released && !f.handedOff {
+			call := acquired[obj]
+			pass.Reportf(call.Pos(),
+				"%s acquired into %s but never Release*d or handed off in this function (PooledInFlight would only catch this at teardown); annotate //hvdb:handoff <reason> if ownership transfers invisibly",
+				calleeName(call), obj.Name())
+		}
+	}
+}
+
+func parentOf(stack []ast.Node) ast.Node {
+	if len(stack) < 2 {
+		return nil
+	}
+	return stack[len(stack)-2]
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadDir parses every non-test .go file in dir as one package with
+// the given import path and type-checks it from source. It is the
+// loader behind the linttest golden suites: testdata packages live
+// outside the module proper (the go tool ignores testdata directories)
+// but still need full type information for the analyzers.
+func LoadDir(importPath, dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return checkFiles(importPath, dir, fset, files)
+}
+
+// AnalyzeSource type-checks one in-memory file and runs the given
+// analyzers (all of them when none are given) — the programmatic
+// entry point for examples and quick experiments:
+//
+//	res, err := lint.AnalyzeSource("repro/internal/demo", "demo.go", src)
+func AnalyzeSource(importPath, filename, src string, analyzers ...*Analyzer) (*Result, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := checkFiles(importPath, ".", fset, []*ast.File{f})
+	if err != nil {
+		return nil, err
+	}
+	return Analyze([]*Package{pkg}, analyzers...), nil
+}
+
+func checkFiles(importPath, srcDir string, fset *token.FileSet, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importerFrom{newImporter(fset), srcDir}}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        srcDir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

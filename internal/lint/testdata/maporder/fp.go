@@ -1,0 +1,64 @@
+package maporder
+
+// False-positive corpus drawn from real repo idioms: patterns that
+// look like ordered escapes but are order-free, and how each is kept
+// quiet (by the analyzer's own rules where possible, by a reasoned
+// annotation where not).
+
+// bitsetUnion is network.SendersMatching's shape: the appends only
+// zero-extend the word slice to the widest sender set and every bit
+// lands via a commutative |=. The analyzer cannot prove that, so the
+// site carries the annotation — the same one the real code carries.
+func bitsetUnion(kinds map[string][]uint64) []uint64 {
+	var union []uint64
+	//hvdb:unordered bitset union is commutative; the appends only zero-extend
+	for _, words := range kinds {
+		for len(union) < len(words) {
+			union = append(union, 0)
+		}
+		for i, w := range words {
+			union[i] |= w
+		}
+	}
+	return union
+}
+
+// denseLaneFill is the SoA hot-path shape: map entries land in a dense
+// per-node lane indexed by the key, so iteration order cannot matter.
+// Index writes are not sinks; no annotation needed.
+func denseLaneFill(pending map[int]float64, lane []float64) {
+	for id, v := range pending {
+		lane[id] = v
+	}
+}
+
+// denseLaneLoop ranges the dense lane (a slice, not a map) and
+// transmits: slices iterate in index order, so this is clean even
+// though it sends.
+func denseLaneLoop(s *sim, lane []float64) {
+	for id, v := range lane {
+		if v > 0 {
+			s.Broadcast(id, 32)
+		}
+	}
+}
+
+// maxOverMap folds into a commutative max; comparisons are exact, so
+// no float-reduction sink fires (only compound assignment does).
+func maxOverMap(loads map[int]float64) float64 {
+	best := 0.0
+	for _, v := range loads {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// deleteSweep mutates another map, which has no iteration order of its
+// own: clean.
+func deleteSweep(dead map[int]bool, live map[int]float64) {
+	for id := range dead {
+		delete(live, id)
+	}
+}

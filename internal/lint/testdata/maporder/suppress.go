@@ -1,0 +1,48 @@
+package maporder
+
+// This file exercises the annotation policy: a reasoned suppression
+// silences the diagnostic, a bare one is itself a diagnostic, an
+// unknown key is a typo, and a stale annotation must be dropped.
+
+// suppressedTransmit is annotated with a reason: clean.
+func suppressedTransmit(s *sim, probes map[int]bool) {
+	//hvdb:unordered probe order is folded into a commutative max below, never transmitted
+	for id := range probes {
+		s.Broadcast(id, 1)
+	}
+}
+
+// trailingSuppression uses the same-line form: clean.
+func trailingSuppression(s *sim, probes map[int]bool) {
+	for id := range probes { //hvdb:unordered probe replies dedup by id at the receiver
+		s.Broadcast(id, 1)
+	}
+}
+
+// bareSuppression omits the reason: the annotation itself is flagged
+// and the underlying diagnostic still fires.
+func bareSuppression(s *sim, probes map[int]bool) {
+	//hvdb:unordered // want "needs a reason"
+	for id := range probes { // want "calls Broadcast"
+		s.Broadcast(id, 1)
+	}
+}
+
+// typoKey uses an unknown annotation key.
+func typoKey(s *sim, probes map[int]bool) {
+	//hvdb:unorderd misspelled key // want "unknown suppression key"
+	for id := range probes { // want "calls Broadcast"
+		s.Broadcast(id, 1)
+	}
+}
+
+// staleAnnotation suppresses nothing: the loop is clean, so the
+// annotation must go.
+func staleAnnotation(probes map[int]bool) int {
+	n := 0
+	//hvdb:unordered counting is commutative // want "suppresses nothing"
+	for range probes {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,83 @@
+// Package poolpair is the golden corpus for the poolpair analyzer.
+package poolpair
+
+// Packet and pool stand in for network.Packet / network.Network: the
+// analyzer recognizes Acquire*/Release* by name, the repo convention.
+type Packet struct {
+	Size int
+	Kind string
+}
+
+type pool struct{}
+
+func (p *pool) AcquirePacket() *Packet            { return &Packet{} }
+func (p *pool) ReleasePacket(k *Packet)           {}
+func (p *pool) RetainPacket(k *Packet)            {}
+func (p *pool) Broadcast(from int, k *Packet) int { return 0 }
+
+// acquireRelease is the canonical balanced round: clean.
+func acquireRelease(p *pool) {
+	pkt := p.AcquirePacket()
+	pkt.Size = 64
+	p.Broadcast(1, pkt)
+	p.ReleasePacket(pkt)
+}
+
+// deferredRelease balances via defer: clean.
+func deferredRelease(p *pool) int {
+	pkt := p.AcquirePacket()
+	defer p.ReleasePacket(pkt)
+	return p.Broadcast(2, pkt)
+}
+
+// leakedRead only reads fields; the reference is dropped on return.
+func leakedRead(p *pool) int {
+	pkt := p.AcquirePacket() // want "never Release"
+	return pkt.Size
+}
+
+// discardedResult can never be released.
+func discardedResult(p *pool) {
+	p.AcquirePacket() // want "result discarded"
+}
+
+// blankedResult can never be released either.
+func blankedResult(p *pool) {
+	_ = p.AcquirePacket() // want "assigned to _"
+}
+
+// handoffReturn transfers ownership to the caller: clean.
+func handoffReturn(p *pool) *Packet {
+	pkt := p.AcquirePacket()
+	pkt.Kind = "data"
+	return pkt
+}
+
+// handoffCall transfers ownership to the callee: clean.
+func handoffCall(p *pool) {
+	pkt := p.AcquirePacket()
+	p.Broadcast(3, pkt)
+}
+
+// handoffStore parks the reference in a structure that outlives the
+// function: clean.
+type queue struct{ pending []*Packet }
+
+func handoffStore(p *pool, q *queue) {
+	pkt := p.AcquirePacket()
+	q.pending = append(q.pending, pkt)
+}
+
+// handoffChannel sends the reference to another owner: clean.
+func handoffChannel(p *pool, ch chan *Packet) {
+	pkt := p.AcquirePacket()
+	ch <- pkt
+}
+
+// annotatedTransfer documents an ownership transfer the analyzer
+// cannot see (the pool tracks every checkout and a teardown sweep
+// releases stragglers): clean because the annotation carries a reason.
+func annotatedTransfer(p *pool) int {
+	pkt := p.AcquirePacket() //hvdb:handoff the pool tracks every checkout; the teardown sweep releases stragglers after stats capture
+	return pkt.Size
+}

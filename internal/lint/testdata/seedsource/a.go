@@ -1,0 +1,38 @@
+// Package seedsource is the golden corpus for the seedsource
+// analyzer. The suite loads it under a repro/internal/... import path,
+// so it counts as a simulation package.
+package seedsource
+
+import (
+	"math/rand" // want "import math/rand in a simulation package"
+	"time"
+)
+
+// ambientDraw uses the global math/rand stream: not reproducible from
+// the run seed.
+func ambientDraw() int {
+	return rand.Intn(6)
+}
+
+// wallClockRead leaks host time into simulation state.
+func wallClockRead() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// wallClockSpan compounds it with Since and Sleep.
+func wallClockSpan(start time.Time) {
+	d := time.Since(start) // want "time.Since reads the wall clock"
+	time.Sleep(d)          // want "time.Sleep reads the wall clock"
+}
+
+// durationType only names the time.Duration type — types are not
+// entropy; clean.
+func durationType(d time.Duration) float64 {
+	return d.Seconds()
+}
+
+// annotatedTiming is benchmark instrumentation around a finished run:
+// the sanctioned exemption.
+func annotatedTiming() time.Time {
+	return time.Now() //hvdb:wallclock benchmark timing around a finished run, never feeds simulation state
+}

@@ -1,0 +1,12 @@
+package seedsource
+
+import (
+	crand "crypto/rand" // want "import crypto/rand in a simulation package"
+	"math/big"
+)
+
+// cryptoDraw is irreproducible by construction.
+func cryptoDraw() *big.Int {
+	n, _ := crand.Int(crand.Reader, big.NewInt(100))
+	return n
+}

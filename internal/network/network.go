@@ -1117,6 +1117,7 @@ func (w *Network) BytesMatching(match func(kind string) bool) uint64 {
 // measure of the paper's membership argument.
 func (w *Network) SendersMatching(match func(kind string) bool) int {
 	var union []uint64
+	//hvdb:unordered bitset union is commutative: the appends only zero-extend to the widest sender set and every bit lands via |=
 	for k, c := range w.kinds {
 		if !match(k) {
 			continue

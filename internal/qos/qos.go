@@ -23,6 +23,7 @@ import (
 	"repro/internal/multicast"
 	"repro/internal/network"
 	"repro/internal/route"
+	"repro/internal/vcgrid"
 )
 
 // Mode selects the admission discipline.
@@ -293,11 +294,25 @@ func (m *Manager) Reconcile() int {
 func (m *Manager) Active() int { return len(m.sessions) }
 
 // Utilization reports the mean reserved fraction over the CH nodes
-// currently heading clusters — the backbone's QoS load.
+// currently heading clusters — the backbone's QoS load. The sum runs
+// in sorted cluster order: float addition is not associative, so
+// summing in map order would leak the iteration order into the
+// reported mean's last ulp.
 func (m *Manager) Utilization() float64 {
+	heads := m.bb.Clusters().Heads()
+	vcs := make([]vcgrid.VC, 0, len(heads))
+	for vc := range heads {
+		vcs = append(vcs, vc)
+	}
+	sort.Slice(vcs, func(i, j int) bool {
+		if vcs[i].CX != vcs[j].CX {
+			return vcs[i].CX < vcs[j].CX
+		}
+		return vcs[i].CY < vcs[j].CY
+	})
 	total, count := 0.0, 0
-	for _, ch := range m.bb.Clusters().Heads() {
-		if node := m.bb.Net().Node(ch); node != nil {
+	for _, vc := range vcs {
+		if node := m.bb.Net().Node(heads[vc]); node != nil {
 			total += node.Cap.Utilization()
 			count++
 		}
