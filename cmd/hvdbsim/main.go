@@ -13,12 +13,20 @@
 // count) and the trials are fanned across -parallel workers; the output
 // is then a per-metric mean with its 95% confidence half-width.
 //
+// With -fuzz N the tool switches to a scenario-fuzzing campaign
+// (internal/scengen): N generated scripts are invariant-checked on
+// worlds built from the same flags, every failure is shrunk to a
+// minimal script written under -fuzzout, and the exit status is 1 if
+// any invariant broke. Campaigns are deterministic in -fuzzseed, so a
+// CI failure replays anywhere from the seed alone.
+//
 // Example:
 //
 //	hvdbsim -nodes 300 -groups 2 -members 12 -speed 10 -packets 30 -trace multicast
 //	hvdbsim -nodes 300 -trials 16 -parallel 4
 //	hvdbsim -protocol spbm -script churn-storm
 //	hvdbsim -protocol cbt -script my-scenario.json -trials 8
+//	hvdbsim -fuzz 500 -fuzzseed 7 -nodes 60 -loss 0.05
 package main
 
 import (
@@ -26,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/des"
@@ -35,6 +44,7 @@ import (
 	"repro/internal/radio"
 	"repro/internal/runner"
 	"repro/internal/scenario"
+	"repro/internal/scengen"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -60,6 +70,9 @@ func main() {
 		script   = flag.String("script", "", "scripted scenario: a built-in name or a JSON script file")
 		trials   = flag.Int("trials", 1, "independent trials (seeds derived per trial)")
 		parallel = flag.Int("parallel", 0, "max concurrent trials (0 = GOMAXPROCS)")
+		fuzzN    = flag.Int("fuzz", 0, "fuzz mode: generate and invariant-check this many scripts (see -fuzzseed, -fuzzout)")
+		fuzzSeed = flag.Uint64("fuzzseed", 1, "campaign base seed for -fuzz (same seed: same scripts, same verdicts)")
+		fuzzOut  = flag.String("fuzzout", ".", "directory for minimized failing scripts written by -fuzz")
 		traceCat = flag.String("trace", "", "comma-separated trace categories (sim,mobility,radio,cluster,routes,membership,multicast)")
 	)
 	flag.Parse()
@@ -95,6 +108,16 @@ func main() {
 		fail("-warmup must be non-negative (got %g)", *warm)
 	case *parallel < 0:
 		fail("-parallel must be non-negative (got %d)", *parallel)
+	case *fuzzN < 0:
+		fail("-fuzz must be non-negative (got %d)", *fuzzN)
+	}
+	if *fuzzN > 0 {
+		if *script != "" {
+			fail("-fuzz generates its own scripts; it is mutually exclusive with -script")
+		}
+		if *traceCat != "" {
+			fail("-fuzz does not support -trace")
+		}
 	}
 
 	known := false
@@ -138,6 +161,10 @@ func main() {
 		baseSpec.MaxSpeed = *speed
 	}
 
+	if *fuzzN > 0 {
+		os.Exit(runFuzz(baseSpec, *proto, *fuzzN, *fuzzSeed, *fuzzOut, *warm))
+	}
+
 	cfg := trialConfig{
 		proto: *proto, script: sc,
 		warm: *warm, packets: *packets, payload: *payload,
@@ -165,6 +192,44 @@ func main() {
 		log.Fatal(err)
 	}
 	printAggregate(*seed, results)
+}
+
+// runFuzz drives a scenario-fuzzing campaign: n generated scripts are
+// invariant-checked (internal/scengen) on worlds built from the flag
+// spec, each failure is shrunk and written as replayable JSON under
+// outDir, and the returned exit status is 1 when any invariant broke.
+func runFuzz(spec scenario.Spec, arm string, n int, seed uint64, outDir string, warm float64) int {
+	prof := scengen.DefaultProfile()
+	prof.Groups = spec.Groups // scripts may reference every flag-built group
+	res := scengen.Campaign(scengen.CampaignConfig{
+		Check:       scengen.CheckConfig{Spec: spec, Warmup: des.Duration(warm), Arms: []string{arm}},
+		Profile:     prof,
+		Seed:        seed,
+		Scripts:     n,
+		MaxFailures: 3,
+		Log:         log.Printf,
+	})
+	if len(res.Failures) == 0 {
+		fmt.Printf("fuzz: %d scripts checked on arm %s, no invariant violations (base seed %#x)\n",
+			res.Scripts, arm, seed)
+		return 0
+	}
+	for _, f := range res.Failures {
+		min := f.Minimized
+		if min == nil {
+			min = f.Script
+		}
+		path := filepath.Join(outDir, fmt.Sprintf("scengen-fail-%016x.json", f.GenSeed))
+		if err := os.WriteFile(path, scengen.ScriptJSON(min), 0o644); err != nil {
+			log.Printf("writing %s: %v", path, err)
+			path = "(not written)"
+		}
+		fmt.Printf("\nfuzz FAILURE at script %d:\n%s\nminimized script: %s\nreplay: hvdbsim -protocol %s -seed %#x -script %s\n",
+			f.Index, f.Report, path, arm, f.WorldSeed, path)
+	}
+	fmt.Printf("\nfuzz: %d of %d scripts violated invariants (base seed %#x)\n",
+		len(res.Failures), res.Scripts, seed)
+	return 1
 }
 
 // loadScript resolves a -script argument: a built-in script name first,

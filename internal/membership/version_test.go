@@ -1,0 +1,51 @@
+package membership
+
+import "testing"
+
+// TestSummaryVersionStableAcrossNoOpRounds pins the version-key
+// contract the route cache builds on (internal/route keys memoized
+// trees by SummaryVersion): summary rounds that re-deliver an
+// unchanged view — the steady state of a converged static network —
+// must not bump SummaryVersion, or every cached tree would be evicted
+// each round and the cache would never hit. A real membership change
+// afterwards must still bump it.
+func TestSummaryVersionStableAcrossNoOpRounds(t *testing.T) {
+	tb := newTestbed(t, DefaultConfig())
+	m1 := tb.addMember(9, 5, 5)
+	m2 := tb.addMember(30, -5, 3)
+	tb.rebind()
+	tb.ms.Join(m1.ID, 1)
+	tb.ms.Join(m2.ID, 1)
+
+	round := func() {
+		tb.ms.LocalRound()
+		tb.drain()
+		tb.ms.MNTRound()
+		tb.sim.RunUntil(tb.sim.Now() + 5)
+		tb.ms.HTRound()
+		tb.sim.RunUntil(tb.sim.Now() + 10)
+	}
+	// Converge: the first rounds install MNT lanes and MT views.
+	round()
+	round()
+	v := tb.ms.SummaryVersion()
+	if v == 0 {
+		t.Fatal("convergence rounds never bumped SummaryVersion; the test premise is broken")
+	}
+
+	// Steady state: identical summaries re-flood, setMNT and recordMT
+	// must detect the no-op.
+	for i := 0; i < 3; i++ {
+		round()
+	}
+	if got := tb.ms.SummaryVersion(); got != v {
+		t.Fatalf("no-op summary rounds bumped SummaryVersion %d -> %d", v, got)
+	}
+
+	// A genuine change still moves the version once rounds propagate it.
+	tb.ms.Leave(m1.ID, 1)
+	round()
+	if got := tb.ms.SummaryVersion(); got <= v {
+		t.Fatalf("membership change did not bump SummaryVersion (still %d)", got)
+	}
+}

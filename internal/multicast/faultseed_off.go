@@ -1,0 +1,22 @@
+//go:build !faultseed
+
+package multicast
+
+import (
+	"repro/internal/logicalid"
+	"repro/internal/network"
+)
+
+// FaultSeedActive reports whether the deliberately seeded determinism
+// fault is compiled in (see faultseed_on.go). Plain builds say false;
+// internal/scengen's TestFaultSeedCompiledOut asserts that.
+const FaultSeedActive = false
+
+// cubeChildren lists slot's children in the hypercube-tier tree in
+// ascending slot order: transmission order must not depend on map
+// iteration, because each send in the fan-out consumes the sender's
+// capacity window and loss stream in sequence.
+func (s *Service) cubeChildren(tree map[logicalid.CHID]logicalid.CHID, slot logicalid.CHID) []logicalid.CHID {
+	s.childScratch = network.Children(tree, slot, s.childScratch[:0])
+	return s.childScratch
+}

@@ -1,0 +1,30 @@
+//go:build faultseed
+
+package multicast
+
+import "repro/internal/logicalid"
+
+// This file deliberately reintroduces the map-order transmission bug
+// class fixed in PR 3: with -tags faultseed, the hypercube-tier
+// fan-out walks the tree map in Go's randomized iteration order
+// instead of sorted slot order, so sibling transmissions swap places
+// between reruns. internal/scengen's fault-seed self-test builds with
+// this tag and asserts that the generated-scenario harness catches the
+// divergence and shrinks it to a minimal script — proof the fuzzer is
+// actually wired to something.
+
+// FaultSeedActive reports that the seeded fault is compiled in.
+const FaultSeedActive = true
+
+// cubeChildren is the seeded-fault variant of the sorted fan-out in
+// faultseed_off.go: map iteration order leaks into the transmission
+// sequence.
+func (s *Service) cubeChildren(tree map[logicalid.CHID]logicalid.CHID, slot logicalid.CHID) []logicalid.CHID {
+	s.childScratch = s.childScratch[:0]
+	for child, parent := range tree {
+		if parent == slot && child != slot {
+			s.childScratch = append(s.childScratch, child)
+		}
+	}
+	return s.childScratch
+}

@@ -421,9 +421,7 @@ func (s *Service) logicalTreeWithin(hid logicalid.HID, root logicalid.CHID, dest
 // slot order (not map order) so the senders' loss streams see a
 // deterministic transmission sequence.
 func (s *Service) forwardWithinCube(slot logicalid.CHID, uid uint64, born des.Time, hdr *header) {
-	children := network.Children(hdr.CubeTree, slot, s.childScratch[:0])
-	s.childScratch = children
-	for _, childSlot := range children {
+	for _, childSlot := range s.cubeChildren(hdr.CubeTree, slot) {
 		if s.bb.CHNodeOf(childSlot) == network.NoNode {
 			continue // CH vanished since the tree was computed
 		}

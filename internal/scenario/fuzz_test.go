@@ -1,0 +1,91 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParseScript is the native fuzz target for the script JSON parser.
+// The contract under fuzzing:
+//
+//   - malformed input returns an error, never panics;
+//   - a successfully parsed script passes Validate (ParseScript already
+//     validates — a parse that returns a script violating its own
+//     validator would let invalid timetables reach RunScript);
+//   - parsing round-trips: re-marshaling a parsed script and parsing it
+//     again yields the same script, so shrunken fuzz scripts written to
+//     JSON replay exactly (hvdbsim -script).
+//
+// Run it as a regression suite with plain `go test` (the committed
+// corpus under testdata/fuzz/FuzzParseScript) or as a search with
+// `go test -fuzz FuzzParseScript -fuzztime 30s ./internal/scenario/`.
+func FuzzParseScript(f *testing.F) {
+	for _, name := range BuiltinScripts() {
+		s, err := BuiltinScript(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","directives":[{"kind":"traffic","pattern":"cbr","interval":1e309}]}`))
+	f.Add([]byte(`{"name":"x","directives":[null,{"at":"soon"}]}`))
+	f.Add([]byte(`{"directives":[{"kind":"partition","duration":1,"frac":-0}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseScript(data)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "scenario: ") {
+				t.Fatalf("parse error lost its package prefix: %v", err)
+			}
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("ParseScript returned a script failing its own validator: %v", err)
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("parsed script does not re-marshal: %v", err)
+		}
+		s2, err := ParseScript(out)
+		if err != nil {
+			t.Fatalf("re-marshaled script does not re-parse: %v\njson: %s", err, out)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("script changed across a JSON round-trip:\nfirst:  %+v\nsecond: %+v", s, s2)
+		}
+	})
+}
+
+// TestParseScriptErrorNamesDirective pins the index attribution of
+// directive-level parse errors: a type error or unknown field inside
+// directive i must name i, so a long generated timetable can be fixed
+// without binary-searching the JSON by hand.
+func TestParseScriptErrorNamesDirective(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`{"name":"x","directives":[
+			{"at":0,"kind":"radio-loss","loss":0.2,"duration":2},
+			{"at":"tomorrow","kind":"radio-loss"}]}`, "directive 1:"},
+		{`{"name":"x","directives":[{"kind":"traffic","warp":9}]}`, "directive 0:"},
+		{`{"name":"x","directives":[
+			{"at":0,"kind":"radio-loss","loss":0.2,"duration":2},
+			{"at":0,"kind":"partition","duration":1},
+			{"at":0,"kind":"node-churn","count":true}]}`, "directive 2:"},
+	}
+	for _, c := range cases {
+		_, err := ParseScript([]byte(c.src))
+		if err == nil {
+			t.Fatalf("bad script parsed: %s", c.src)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("error %q does not name the offending directive (%s)", err, c.want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// TestRouteCacheInvalidationWiring exercises the cache's invalidation
+// edges through the protocol plane, asserted via the Hits / Misses /
+// Invalidated counters:
+//
+//   - sends populate the cache (misses) and repeat sends at an
+//     unchanged version reuse it (hits);
+//   - stack Join/Leave eagerly invalidates the group's entries;
+//   - a partition directive (and its heal) invalidates everything.
+func TestRouteCacheInvalidationWiring(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Seed = 23
+	spec.Nodes = 60
+	spec.Mobility = Static // hold versions still between rounds
+	w, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stk, err := w.Protocol("hvdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stk.Start()
+	w.WarmUp(12)
+	cache := w.BB.Trees()
+
+	send := func() {
+		// The lowest-ID member is up in a static world; one send walks
+		// the mesh and cube tiers, touching every tree on the path. The
+		// multicast service fronts the route cache with a TTL layer
+		// (Config.CacheTTL, 10s by default), so advance past it first:
+		// only an expired TTL entry recomputes through bb.Trees().
+		w.Sim.RunUntil(w.Sim.Now() + 11)
+		if uid := stk.Send(w.Members[0][0], 0, 64); uid == 0 {
+			t.Fatal("prime send failed")
+		}
+		w.Sim.RunUntil(w.Sim.Now() + 1)
+	}
+
+	send()
+	if cache.Misses == 0 {
+		t.Fatal("first send computed no trees through the cache")
+	}
+	if cache.Len() == 0 {
+		t.Fatal("first send left the cache empty")
+	}
+	misses := cache.Misses
+	send()
+	if cache.Hits == 0 {
+		t.Fatalf("repeat send at an unchanged version hit nothing (misses %d -> %d)", misses, cache.Misses)
+	}
+
+	// Leave: the group's entries must be eagerly dropped.
+	inv := cache.Invalidated
+	stk.Leave(w.Members[0][1], 0)
+	if cache.Invalidated <= inv {
+		t.Fatalf("Leave did not invalidate group entries (Invalidated still %d)", cache.Invalidated)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("single-group world still holds %d entries after InvalidateGroup", cache.Len())
+	}
+
+	// Join: same eager hook; first repopulate so there is something to drop.
+	send()
+	if cache.Len() == 0 {
+		t.Fatal("send after Leave did not repopulate the cache")
+	}
+	inv = cache.Invalidated
+	stk.Join(w.Members[0][1], 0)
+	if cache.Invalidated <= inv {
+		t.Fatalf("Join did not invalidate group entries (Invalidated still %d)", cache.Invalidated)
+	}
+
+	// Partition open and heal: both ends of the window invalidate the
+	// whole cache (plus any CH-churn invalidations the failures cause).
+	send()
+	if cache.Len() == 0 {
+		t.Fatal("send before the partition did not repopulate the cache")
+	}
+	inv = cache.Invalidated
+	sc := &Script{Name: "partition-only", Directives: []Directive{
+		{At: 0, Kind: KindPartition, Frac: 0.25, Duration: 2},
+	}}
+	if _, err := w.RunScript(stk, sc); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Invalidated <= inv {
+		t.Fatalf("partition/heal did not invalidate the cache (Invalidated still %d)", cache.Invalidated)
+	}
+	stk.Stop()
+	assertNoPacketLeaks(t, w)
+}

@@ -215,20 +215,38 @@ func (s *Script) Horizon() float64 {
 //	    {"at": 2, "kind": "node-churn", "count": 3, "period": 1, "duration": 15}
 //	  ]
 //	}
+//
+// Malformed input returns an error, never panics (FuzzParseScript is
+// the regression harness for that contract), and an error inside the
+// directive list names the offending directive index.
 func ParseScript(data []byte) (*Script, error) {
+	// Directives decode in two steps — raw messages first, fields per
+	// directive second — so a type or field error can be attributed to
+	// the directive it occurred in instead of a byte offset.
+	var raw struct {
+		Name       string            `json:"name"`
+		Directives []json.RawMessage `json:"directives"`
+	}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
-	var s Script
-	if err := dec.Decode(&s); err != nil {
+	if err := dec.Decode(&raw); err != nil {
 		return nil, fmt.Errorf("scenario: bad script: %w", err)
 	}
 	if dec.More() {
 		return nil, fmt.Errorf("scenario: bad script: trailing data after the JSON object")
 	}
+	s := &Script{Name: raw.Name, Directives: make([]Directive, len(raw.Directives))}
+	for i, msg := range raw.Directives {
+		dd := json.NewDecoder(bytes.NewReader(msg))
+		dd.DisallowUnknownFields()
+		if err := dd.Decode(&s.Directives[i]); err != nil {
+			return nil, fmt.Errorf("scenario: bad script: directive %d: %w", i, err)
+		}
+	}
 	if err := s.Validate(); err != nil {
 		return nil, fmt.Errorf("scenario: %w", err)
 	}
-	return &s, nil
+	return s, nil
 }
 
 // BuiltinScripts lists the names of the built-in stress scenarios.

@@ -1,0 +1,183 @@
+// Package scengen manufactures adversarial scenario workloads and
+// asserts the repo's standing invariants against them: it generates
+// random valid scenario.Script timetables from a seeded profile
+// (Profile, Generate), runs each one across protocol arms under the
+// full determinism contract (Check), and shrinks any failing script to
+// a minimal JSON timetable that `hvdbsim -script` replays directly
+// (Shrink, ScriptJSON).
+//
+// Both shipped determinism bugs in the protocol plane were flushed out
+// by *new* scenario directives, not by hand-written unit tests — this
+// package turns that observation into machinery. It is wired three
+// ways: Go native fuzz targets (FuzzScriptInvariants in this package,
+// FuzzParseScript in internal/scenario), the `hvdbsim -fuzz N` batch
+// mode for long offline campaigns, and a deterministic ~100-script CI
+// smoke tier (TestFuzzSmokeCampaign).
+package scengen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/runner"
+	"repro/internal/scenario"
+	"repro/internal/xrand"
+)
+
+// genSeedSalt decorrelates generator draws from the world-build and
+// script-execution streams that use the same base seed elsewhere.
+const genSeedSalt = 0x9b1a4f23c0d87e65
+
+// Profile bounds the scripts Generate produces. Zero fields take the
+// DefaultProfile values, so partial literals are safe.
+type Profile struct {
+	// MinDirectives and MaxDirectives bound the timetable length.
+	MinDirectives, MaxDirectives int
+	// MaxAt is the latest directive start time (seconds); MaxWindow the
+	// longest churn/loss/partition/traffic window.
+	MaxAt, MaxWindow float64
+	// MaxCount bounds churn burst sizes and flash-crowd source counts.
+	MaxCount int
+	// MaxPackets and MaxPayload bound each traffic generator.
+	MaxPackets, MaxPayload int
+	// MinInterval and MaxInterval bound traffic inter-send gaps.
+	MinInterval, MaxInterval float64
+	// Groups is how many multicast groups directives may reference;
+	// worlds checked against these scripts need at least as many.
+	Groups int
+	// Kinds restricts the directive kinds drawn; empty means all five.
+	Kinds []string
+}
+
+// DefaultProfile sizes scripts for small smoke worlds: short horizons
+// (a script's last effect lands within ~15 simulated seconds), small
+// bursts, all kinds and traffic patterns enabled.
+func DefaultProfile() Profile {
+	return Profile{
+		MinDirectives: 2, MaxDirectives: 8,
+		MaxAt: 6, MaxWindow: 5,
+		MaxCount: 3, MaxPackets: 10, MaxPayload: 512,
+		MinInterval: 0.1, MaxInterval: 0.8,
+		Groups: 1,
+	}
+}
+
+// withDefaults fills zero fields from DefaultProfile.
+func (p Profile) withDefaults() Profile {
+	d := DefaultProfile()
+	if p.MinDirectives <= 0 {
+		p.MinDirectives = d.MinDirectives
+	}
+	if p.MaxDirectives < p.MinDirectives {
+		p.MaxDirectives = p.MinDirectives + d.MaxDirectives - d.MinDirectives
+	}
+	if p.MaxAt <= 0 {
+		p.MaxAt = d.MaxAt
+	}
+	if p.MaxWindow <= 0 {
+		p.MaxWindow = d.MaxWindow
+	}
+	if p.MaxCount <= 0 {
+		p.MaxCount = d.MaxCount
+	}
+	if p.MaxPackets <= 0 {
+		p.MaxPackets = d.MaxPackets
+	}
+	if p.MaxPayload < 16 {
+		p.MaxPayload = d.MaxPayload
+	}
+	if p.MinInterval <= 0 {
+		p.MinInterval = d.MinInterval
+	}
+	if p.MaxInterval < p.MinInterval {
+		p.MaxInterval = p.MinInterval + d.MaxInterval - d.MinInterval
+	}
+	if p.Groups <= 0 {
+		p.Groups = d.Groups
+	}
+	return p
+}
+
+// allKinds is the draw set when Profile.Kinds is empty.
+var allKinds = []string{
+	scenario.KindNodeChurn, scenario.KindMemberChurn, scenario.KindTraffic,
+	scenario.KindRadioLoss, scenario.KindPartition,
+}
+
+var allPatterns = []string{
+	scenario.PatternCBR, scenario.PatternPoisson, scenario.PatternOnOff, scenario.PatternFlash,
+}
+
+// Generate builds a random valid script from the profile. Generation
+// is deterministic and positional: directive i draws from its own
+// stream runner.DeriveSeed(seed^genSeedSalt, i) (the timetable length
+// from position -1), so the same seed always yields the same script
+// and editing the profile's length bounds does not reshuffle the
+// directives that survive. Every produced script passes Validate.
+func (p Profile) Generate(seed uint64) *scenario.Script {
+	p = p.withDefaults()
+	hdr := xrand.New(runner.DeriveSeed(seed^genSeedSalt, -1))
+	n := p.MinDirectives + hdr.Intn(p.MaxDirectives-p.MinDirectives+1)
+	sc := &scenario.Script{Name: fmt.Sprintf("gen-%016x", seed)}
+	for i := 0; i < n; i++ {
+		rng := xrand.New(runner.DeriveSeed(seed^genSeedSalt, i))
+		sc.Directives = append(sc.Directives, p.directive(rng))
+	}
+	return sc
+}
+
+// quantize rounds to 1/64-second steps: the JSON stays readable, and
+// every value is an exact binary float, so the shrinker's halvings and
+// the engine's Period arithmetic are exact.
+func quantize(x float64) float64 { return math.Round(x*64) / 64 }
+
+// directive draws one valid directive from the profile.
+func (p Profile) directive(rng *xrand.Rand) scenario.Directive {
+	kinds := p.Kinds
+	if len(kinds) == 0 {
+		kinds = allKinds
+	}
+	d := scenario.Directive{
+		At:   quantize(rng.Range(0, p.MaxAt)),
+		Kind: kinds[rng.Pick(len(kinds))],
+	}
+	switch d.Kind {
+	case scenario.KindNodeChurn, scenario.KindMemberChurn:
+		d.Count = 1 + rng.Intn(p.MaxCount)
+		d.Period = quantize(rng.Range(0.25, 1.5))
+		// Duration is a whole number of ticks so Period <= Duration holds
+		// exactly and the shrinker can halve the tick count.
+		ticks := 1 + rng.Intn(int(math.Max(1, p.MaxWindow/1.5)))
+		d.Duration = d.Period * float64(ticks)
+		if d.Kind == scenario.KindMemberChurn {
+			d.Group = rng.Intn(p.Groups)
+		}
+	case scenario.KindTraffic:
+		d.Group = rng.Intn(p.Groups)
+		d.Pattern = allPatterns[rng.Pick(len(allPatterns))]
+		d.Interval = quantize(rng.Range(p.MinInterval, p.MaxInterval))
+		d.Packets = 1 + rng.Intn(p.MaxPackets)
+		d.Payload = 16 + rng.Intn(p.MaxPayload-15)
+		switch d.Pattern {
+		case scenario.PatternCBR:
+			if rng.Bool(0.5) { // unbounded half the time, like the builtins
+				d.Duration = quantize(rng.Range(1, p.MaxWindow))
+			}
+		case scenario.PatternPoisson:
+			d.Duration = quantize(rng.Range(1, p.MaxWindow))
+		case scenario.PatternOnOff:
+			d.Duration = quantize(rng.Range(1, p.MaxWindow))
+			d.Period = quantize(rng.Range(0.2, 1.5))
+		case scenario.PatternFlash:
+			d.Duration = quantize(rng.Range(1, p.MaxWindow))
+			d.Count = 1 + rng.Intn(p.MaxCount)
+		}
+	case scenario.KindRadioLoss:
+		d.Loss = quantize(rng.Range(0.05, 0.9))
+		d.Duration = quantize(rng.Range(0.5, p.MaxWindow))
+	case scenario.KindPartition:
+		d.Frac = quantize(rng.Range(0.05, 0.5))
+		d.Duration = quantize(rng.Range(0.5, p.MaxWindow))
+	}
+	return d
+}

@@ -1,0 +1,157 @@
+package scengen
+
+import (
+	"encoding/json"
+
+	"repro/internal/scenario"
+)
+
+// defaultShrinkBudget caps predicate evaluations per Shrink call. Each
+// evaluation typically reruns the failing configuration a few times,
+// so the budget bounds total shrink cost, not just iteration count.
+const defaultShrinkBudget = 120
+
+// Shrink minimizes a failing script: it bisects the directive list
+// (ddmin), then repeatedly halves magnitudes — start times, burst
+// counts, packet counts, payload sizes, window tick counts — keeping
+// every candidate Validate-clean and accepting only candidates fails
+// still flags. fails may be probabilistic (a map-order bug does not
+// misbehave on every rerun); it must be one-sided — returning true
+// requires witnessed misbehavior — so a flaky false only ever leaves
+// the result larger, never wrong. The input script is not modified,
+// and the returned script still fails (in the witnessed sense).
+func Shrink(sc *scenario.Script, fails func(*scenario.Script) bool, budget int) *scenario.Script {
+	if budget <= 0 {
+		budget = defaultShrinkBudget
+	}
+	s := &shrinker{fails: fails, budget: budget}
+	cur := cloneScript(sc)
+	cur.Directives = s.ddmin(cur.Name, cur.Directives)
+	for changed := true; changed && s.budget > 0; {
+		changed = false
+		for i := range cur.Directives {
+			for _, cand := range shrinkDirective(cur.Directives[i]) {
+				trial := cloneScript(cur)
+				trial.Directives[i] = cand
+				if s.check(trial) {
+					cur = trial
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return cur
+}
+
+type shrinker struct {
+	fails  func(*scenario.Script) bool
+	budget int
+}
+
+// check spends one budget unit asking whether the candidate is valid
+// and still failing.
+func (s *shrinker) check(c *scenario.Script) bool {
+	if s.budget <= 0 || c.Validate() != nil {
+		return false
+	}
+	s.budget--
+	return s.fails(c)
+}
+
+// ddmin is delta debugging over the directive list: try dropping
+// chunks of shrinking granularity, restarting coarse whenever a drop
+// sticks, until no single directive can go.
+func (s *shrinker) ddmin(name string, ds []scenario.Directive) []scenario.Directive {
+	n := 2
+	for len(ds) > 1 && n <= len(ds) && s.budget > 0 {
+		chunk := (len(ds) + n - 1) / n
+		reduced := false
+		for lo := 0; lo < len(ds); lo += chunk {
+			hi := lo + chunk
+			if hi > len(ds) {
+				hi = len(ds)
+			}
+			trial := make([]scenario.Directive, 0, len(ds)-(hi-lo))
+			trial = append(trial, ds[:lo]...)
+			trial = append(trial, ds[hi:]...)
+			if len(trial) > 0 && s.check(&scenario.Script{Name: name, Directives: trial}) {
+				ds = trial
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(ds) {
+				break
+			}
+			n *= 2
+			if n > len(ds) {
+				n = len(ds)
+			}
+		}
+	}
+	return ds
+}
+
+// shrinkDirective lists single-field reductions of one directive, most
+// aggressive first. Every candidate keeps the directive valid: tick
+// counts halve through Period multiples, counts floor at 1.
+func shrinkDirective(d scenario.Directive) []scenario.Directive {
+	var out []scenario.Directive
+	add := func(f func(*scenario.Directive)) {
+		c := d
+		f(&c)
+		if c != d && c.Validate() == nil {
+			out = append(out, c)
+		}
+	}
+	if d.At > 0 {
+		add(func(c *scenario.Directive) { c.At = 0 })
+		add(func(c *scenario.Directive) { c.At = d.At / 2 })
+	}
+	switch d.Kind {
+	case scenario.KindNodeChurn, scenario.KindMemberChurn:
+		if ticks := int(d.Duration / d.Period); ticks > 1 {
+			add(func(c *scenario.Directive) { c.Duration = c.Period })
+			add(func(c *scenario.Directive) { c.Duration = c.Period * float64(ticks/2) })
+		}
+	default:
+		if d.Duration > 0.5 {
+			add(func(c *scenario.Directive) { c.Duration = d.Duration / 2 })
+		}
+	}
+	if d.Count > 1 {
+		add(func(c *scenario.Directive) { c.Count = 1 })
+		add(func(c *scenario.Directive) { c.Count = d.Count / 2 })
+	}
+	if d.Packets > 1 {
+		add(func(c *scenario.Directive) { c.Packets = 1 })
+		add(func(c *scenario.Directive) { c.Packets = d.Packets / 2 })
+	}
+	if d.Payload > 16 {
+		add(func(c *scenario.Directive) { c.Payload = 16 })
+		add(func(c *scenario.Directive) { c.Payload = d.Payload / 2 })
+	}
+	return out
+}
+
+func cloneScript(sc *scenario.Script) *scenario.Script {
+	c := &scenario.Script{Name: sc.Name}
+	c.Directives = append([]scenario.Directive(nil), sc.Directives...)
+	return c
+}
+
+// ScriptJSON renders a script exactly as `hvdbsim -script` loads it:
+// indented JSON with a trailing newline.
+func ScriptJSON(sc *scenario.Script) []byte {
+	b, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		// Script/Directive hold only plain JSON-encodable fields.
+		panic("scengen: script not encodable: " + err.Error())
+	}
+	return append(b, '\n')
+}
