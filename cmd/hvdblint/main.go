@@ -28,6 +28,7 @@ func main() {
 	var (
 		jsonOut    = flag.Bool("json", false, "emit diagnostics as a JSON array for tooling")
 		suppressed = flag.Bool("suppressed", false, "also list annotated (suppressed) sites with their reasons")
+		shards     = flag.Int("shards", 1, "accepted for flag parity with the simulation tools (CI drives all four CLIs with a shared flag set); static analysis is shard-count independent")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: hvdblint [flags] [packages]\n\nAnalyzers:\n")
@@ -38,6 +39,11 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "hvdblint: -shards must be >= 1 (got %d)\n", *shards)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	dir, err := os.Getwd()
 	if err != nil {

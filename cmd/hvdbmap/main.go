@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"repro/internal/des"
 	"repro/internal/logicalid"
@@ -46,6 +47,7 @@ func main() {
 		cube     = flag.Int("cube", 0, "hypercube to render in detail")
 		trials   = flag.Int("trials", 1, "independent trials (seeds derived per trial)")
 		parallel = flag.Int("parallel", 0, "max concurrent trials (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 1, "shard count for the sharded event kernel (1 = serial); the rendered backbone is identical at every setting")
 	)
 	flag.Parse()
 
@@ -69,12 +71,18 @@ func main() {
 		badFlag("-warmup must be non-negative (got %g)", *warm)
 	case *parallel < 0:
 		badFlag("-parallel must be non-negative (got %d)", *parallel)
+	case *shards < 1:
+		badFlag("-shards must be >= 1 (got %d)", *shards)
+	}
+	if *shards > runtime.NumCPU() {
+		log.Printf("warning: -shards %d exceeds the %d available CPUs", *shards, runtime.NumCPU())
 	}
 	spec := scenario.DefaultSpec()
 	spec.Seed = *seed
 	spec.ArenaSize = *arena
 	spec.Dim = *dim
 	spec.Nodes = *nodes
+	spec.Shards = *shards
 	if *speed <= 0 {
 		spec.Mobility = scenario.Static
 	} else {
@@ -101,7 +109,7 @@ func renderMap(spec scenario.Spec, warm float64, fail, cube int) {
 		os.Exit(2)
 	}
 	w.Start()
-	w.Sim.RunUntil(des.Time(warm))
+	w.RunUntil(des.Time(warm))
 
 	fmt.Println(viz.Summary(w.BB, w.CM))
 	fmt.Println()
@@ -146,7 +154,7 @@ func aggregate(base scenario.Spec, warm float64, fail, trials, parallel int) {
 				return health{}, err
 			}
 			w.Start()
-			w.Sim.RunUntil(des.Time(warm))
+			w.RunUntil(des.Time(warm))
 			if fail > 0 {
 				w.FailRandomAnchors(fail)
 				w.CM.Elect()

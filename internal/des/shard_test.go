@@ -1,0 +1,46 @@
+package des
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestShardedRunUntilCancelledFront is a regression test: a cancelled
+// event at the global front is discarded by the frontKey peek, which
+// pops the entry out of the queue's backing array before recycling the
+// record. The pop relocates the entry under the peeked pointer, so
+// reading the record through that pointer after the pop recycled a
+// stale (possibly nil) event and crashed. Several cancelled entries in
+// a row, interleaved with lane work, exercise every relocation shape.
+func TestShardedRunUntilCancelledFront(t *testing.T) {
+	sim := New()
+	eng := NewSharded(sim, 2, 1)
+
+	var order []string
+	dead := make([]Handle, 0, 8)
+	for i := 0; i < 8; i++ {
+		i := i
+		dead = append(dead, sim.Schedule(Time(i)*0.25, func() {
+			order = append(order, fmt.Sprintf("dead%d", i))
+		}))
+	}
+	sim.Schedule(2.5, func() { order = append(order, "global") })
+	for lane := 0; lane < 2; lane++ {
+		eng.ScheduleLaneDirect(lane, 1.5, func(any, uint64) {}, nil, 0)
+	}
+	for _, h := range dead {
+		if !h.Cancel() {
+			t.Fatal("cancel failed")
+		}
+	}
+
+	eng.RunUntil(3)
+
+	want := []string{"global"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("executed %v, want %v", order, want)
+	}
+	if got := sim.Executed(); got != 3 { // 2 lane events + 1 global
+		t.Fatalf("executed count %d, want 3", got)
+	}
+}

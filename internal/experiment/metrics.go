@@ -63,7 +63,7 @@ func stackTraffic(w *scenario.World, stk protocol.Stack, g membership.Group, cou
 		m.expect(uid, len(w.Members[g]))
 		return uid
 	}, interval, count)
-	w.Sim.RunUntil(w.Sim.Now() + interval*des.Duration(count) + 5)
+	w.RunUntil(w.Sim.Now() + interval*des.Duration(count) + 5)
 	return m
 }
 

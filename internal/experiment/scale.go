@@ -41,7 +41,7 @@ func scaleConfigs(o Options) []scaleConfig {
 // scaleSpec builds the scenario of one sweep point: anchored CHs,
 // default waypoint mobility, one group of 20 members (10 in the
 // miniature worlds) drawn from the mobile population.
-func scaleSpec(seed uint64, c scaleConfig) scenario.Spec {
+func scaleSpec(seed uint64, c scaleConfig, shards int) scenario.Spec {
 	spec := scenario.DefaultSpec()
 	spec.Seed = seed
 	spec.Nodes = c.nodes
@@ -51,6 +51,7 @@ func scaleSpec(seed uint64, c scaleConfig) scenario.Spec {
 	if c.nodes < 200 {
 		spec.MembersPerGroup = 10
 	}
+	spec.Shards = shards
 	return spec
 }
 
@@ -75,13 +76,18 @@ type scaleResult struct {
 }
 
 // runScaleWorld drives one population end to end. Everything it returns
-// is a pure function of (seed, config), so the sweep parallelizes with
-// byte-identical tables at any worker count.
-func runScaleWorld(seed uint64, c scaleConfig) scaleResult {
-	w := must(scenario.Build(scaleSpec(seed, c)))
+// is a pure function of (seed, config) — independent of shards, which
+// only changes how the same event sequence is scheduled onto cores — so
+// the sweep parallelizes with byte-identical tables at any worker or
+// shard count.
+func runScaleWorld(seed uint64, c scaleConfig, shards int) scaleResult {
+	w := must(scenario.Build(scaleSpec(seed, c, shards)))
+	if shards > 1 && w.Eng == nil {
+		panic(fmt.Sprintf("experiment: scale world declined shards=%d: %s", shards, w.ShardNote))
+	}
 	stk := must(w.Protocol("hvdb"))
 	stk.Start()
-	w.Sim.RunUntil(scaleWarm) // no traffic reset: ctrlPNS covers the whole run
+	w.RunUntil(scaleWarm) // no traffic reset: ctrlPNS covers the whole run
 	m := stackTraffic(w, stk, membership.Group(0), scalePackets, scalePayload, scaleGap)
 	stk.Stop()
 	return scaleResult{
@@ -99,7 +105,7 @@ func runScaleWorld(seed uint64, c scaleConfig) scaleResult {
 func Scale(o Options) []*Table {
 	configs := scaleConfigs(o)
 	rows := parSweep(o, configs, func(r runner.Run, c scaleConfig) []string {
-		res := runScaleWorld(r.Seed, c)
+		res := runScaleWorld(r.Seed, c, o.Shards)
 		return []string{
 			I(c.nodes), I(res.total), I(int(c.arena)), I(res.clusters),
 			U(res.events), Pct(res.m.pdr()),
@@ -123,11 +129,16 @@ func Scale(o Options) []*Table {
 // ScalePoint is one measured entry of the scale benchmark: the
 // deterministic world outcomes plus the host-side performance of
 // simulating it (these vary by machine and are therefore not part of
-// the experiment's table contract).
+// the experiment's table contract). Shards and GoMaxProcs record the
+// kernel configuration the point was measured under; Events must be
+// identical across points that differ only in those two fields — the
+// perf-smoke gate enforces exactly that.
 type ScalePoint struct {
 	Nodes          int     `json:"nodes"`
 	TotalNodes     int     `json:"total_nodes"`
 	ArenaM         float64 `json:"arena_m"`
+	Shards         int     `json:"shards"`
+	GoMaxProcs     int     `json:"go_max_procs"`
 	SimSeconds     float64 `json:"sim_seconds"`
 	Events         uint64  `json:"events"`
 	DeliveryRatio  float64 `json:"delivery_ratio"`
@@ -137,19 +148,34 @@ type ScalePoint struct {
 	BytesPerEvent  float64 `json:"bytes_per_event"`
 }
 
+// benchShardCounts is the shard axis of the BENCH_scale.json baseline:
+// the serial kernel and the default sharded configuration.
+var benchShardCounts = []int{1, 4}
+
 // ScaleBench runs the scale sweep serially (one world at a time, so
 // wall-clock and allocation deltas are attributable) and returns the
-// per-population performance baseline.
+// per-population performance baseline. With o.Shards zero every
+// population is measured at each benchShardCounts setting (the baseline
+// contract: a serial and a shards=4 point per N); a positive o.Shards
+// measures only that configuration.
 func ScaleBench(o Options) []ScalePoint {
+	counts := benchShardCounts
+	if o.Shards > 0 {
+		counts = []int{o.Shards}
+	}
 	var out []ScalePoint
 	for i, c := range scaleConfigs(normalizeScaleOpts(o)) {
-		out = append(out, benchScalePoint(o, i, c))
+		for _, k := range counts {
+			o.Shards = k
+			out = append(out, benchScalePoint(o, i, c))
+		}
 	}
 	return out
 }
 
 // ScaleBenchN runs the single sweep point with the given mobile-node
-// population — the CI perf-smoke gate measures just the N=1000 world.
+// population at o.Shards (0 or 1 = serial) — the CI perf-smoke gate
+// measures the N=1000 and N=5000 worlds at both baseline shard counts.
 // The point's seed is derived from its position in the full sweep, so
 // the measured world is identical to that row of ScaleBench (and to the
 // committed BENCH_scale.json entry).
@@ -176,18 +202,24 @@ func normalizeScaleOpts(o Options) Options {
 // outcomes plus wall-clock and allocation deltas around the run.
 func benchScalePoint(o Options, i int, c scaleConfig) ScalePoint {
 	o = normalizeScaleOpts(o)
+	shards := o.Shards
+	if shards < 1 {
+		shards = 1
+	}
 	seed := runner.DeriveSeed(o.Seed, i)
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
 	start := time.Now() //hvdb:wallclock benchmark timing around a finished run; wall/events-per-second never feeds simulation state or the deterministic table columns
-	res := runScaleWorld(seed, c)
+	res := runScaleWorld(seed, c, shards)
 	wall := time.Since(start).Seconds() //hvdb:wallclock benchmark timing, pairs with the start stamp above
 	runtime.ReadMemStats(&m1)
 	p := ScalePoint{
 		Nodes:         c.nodes,
 		TotalNodes:    res.total,
 		ArenaM:        c.arena,
+		Shards:        shards,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
 		SimSeconds:    float64(res.simEnd),
 		Events:        res.events,
 		DeliveryRatio: res.m.pdr(),

@@ -57,8 +57,8 @@ func TestDirectNeighborDelivery(t *testing.T) {
 	if len(e.delivered) != 1 || e.at[0] != b.ID {
 		t.Fatalf("delivered %v at %v", e.delivered, e.at)
 	}
-	if e.r.Delivered != 1 || e.r.Dropped != 0 {
-		t.Fatalf("counters %d/%d", e.r.Delivered, e.r.Dropped)
+	if e.r.Delivered != 1 || e.r.Dropped() != 0 {
+		t.Fatalf("counters %d/%d", e.r.Delivered, e.r.Dropped())
 	}
 }
 
@@ -132,7 +132,7 @@ func TestPerimeterRecoveryAroundVoid(t *testing.T) {
 	}
 	e.sim.Run()
 	if len(e.delivered) != 1 {
-		t.Fatalf("void not routed around: delivered=%d dropped=%d", e.r.Delivered, e.r.Dropped)
+		t.Fatalf("void not routed around: delivered=%d dropped=%d", e.r.Delivered, e.r.Dropped())
 	}
 	if e.delivered[0].Hops < 5 {
 		t.Fatalf("hops %d suspiciously few for the rim detour", e.delivered[0].Hops)
@@ -149,7 +149,7 @@ func TestDisconnectedDrops(t *testing.T) {
 	if len(e.delivered) != 0 {
 		t.Fatal("impossible delivery")
 	}
-	if e.r.Dropped == 0 {
+	if e.r.Dropped() == 0 {
 		t.Fatal("drop not counted")
 	}
 }
@@ -196,7 +196,7 @@ func TestGabrielNeighborsPlanarity(t *testing.T) {
 	e.add(100, 10)
 	c := e.add(200, 0)
 	e.finish()
-	nbrs := e.r.gabrielNeighbors(e.net.Node(a.ID))
+	nbrs := e.r.gabrielNeighbors(&e.r.rl[0], e.net.Node(a.ID), e.net.Node(a.ID).TruePos())
 	for _, id := range nbrs {
 		if id == c.ID {
 			t.Fatal("gabriel graph kept a dominated edge")

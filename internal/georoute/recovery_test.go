@@ -33,7 +33,7 @@ func TestRecoveryDoesNotLoopOnRing(t *testing.T) {
 	e.sim.Run()
 	if len(e.delivered) != 1 {
 		t.Fatalf("delivered %d dropped %d; ring walk did not terminate cleanly",
-			len(e.delivered), e.r.Dropped)
+			len(e.delivered), e.r.Dropped())
 	}
 	if got := e.delivered[0].Hops; got > n+2 {
 		t.Fatalf("hops %d exceed one ring circumnavigation (%d)", got, n+2)
@@ -61,7 +61,7 @@ func TestRecoveryNamedUnreachableDrops(t *testing.T) {
 	if len(e.delivered) != 0 {
 		t.Fatal("unreachable destination was delivered")
 	}
-	if e.r.Dropped != 1 {
-		t.Fatalf("dropped %d want 1 (bounded walk)", e.r.Dropped)
+	if e.r.Dropped() != 1 {
+		t.Fatalf("dropped %d want 1 (bounded walk)", e.r.Dropped())
 	}
 }

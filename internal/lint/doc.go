@@ -1,8 +1,9 @@
 // Package lint is the repository's determinism-lint suite: a small,
-// dependency-free go/analysis-style framework plus three analyzers that
+// dependency-free go/analysis-style framework plus four analyzers that
 // make the map-order bug class — unordered map iteration leaking into
-// ordered simulation state — a compile-time error instead of a raced
-// rerun finding.
+// ordered simulation state — and its sharded-kernel sibling — lane
+// code writing shared hub state — compile-time errors instead of raced
+// rerun findings.
 //
 // The repository's two real protocol bugs to date were the same bug:
 // PR 3's transmission scheduling and PR 5's greedy-tree destination
@@ -40,6 +41,17 @@
 //     PooledInFlight()==0 only fires at teardown; this catches the
 //     leak at the line that drops the reference.
 //
+//   - ShardSafe guards the sharded kernel's ownership discipline in
+//     the packages whose code runs on shard lanes (internal/des,
+//     internal/network, internal/georoute): a function in lane context
+//     — one taking per-lane state (*laneState, *rlane, *Lane) or a
+//     closure passed to ScheduleLaneDirect/LogIntent — must not write
+//     package-level variables or fields of the shared hub types
+//     (Network, Router, Simulator, Sharded, Mux). Such writes race
+//     across lane workers and, even when atomically safe, make results
+//     depend on lane interleaving. Writes through the lane-state
+//     parameters themselves are the sanctioned path.
+//
 // # Suppression annotations
 //
 // Each analyzer has one annotation key; a site that is legitimately
@@ -49,6 +61,7 @@
 //	//hvdb:unordered <reason>   (MapOrder)
 //	//hvdb:wallclock <reason>   (SeedSource)
 //	//hvdb:handoff <reason>     (PoolPair)
+//	//hvdb:serialonly <reason>  (ShardSafe)
 //
 // The reason is mandatory: a bare annotation is itself a diagnostic,
 // so every exemption in the tree documents why it is safe. Annotations

@@ -80,7 +80,7 @@ type Result struct {
 
 // Analyzers returns the full determinism suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{MapOrder, SeedSource, PoolPair}
+	return []*Analyzer{MapOrder, SeedSource, PoolPair, ShardSafe}
 }
 
 // annotationPrefix introduces a suppression comment. The key follows
@@ -171,7 +171,7 @@ func Analyze(pkgs []*Package, analyzers ...*Analyzer) *Result {
 				res.Diags = append(res.Diags, Diagnostic{
 					File: pos.Filename, Line: pos.Line, Col: pos.Column,
 					Analyzer: "annotation",
-					Message:  fmt.Sprintf("unknown suppression key %q (known: unordered, wallclock, handoff)", s.key),
+					Message:  fmt.Sprintf("unknown suppression key %q (known: unordered, wallclock, handoff, serialonly)", s.key),
 				})
 			case s.reason == "":
 				res.Diags = append(res.Diags, Diagnostic{

@@ -1,0 +1,241 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ShardSafe guards the sharded kernel's isolation discipline: code that
+// can execute inside a parallel window (a "lane function") must confine
+// its writes to the per-shard lane state it was handed, to node-local
+// state, or to engine mailboxes (LogIntent / ScheduleLaneDirect).
+// Writing a shared hub object — the Network, a Router, the Simulator,
+// the Sharded engine — or any package-level variable from lane context
+// is a cross-shard data race the race detector only catches when two
+// lanes happen to collide; this flags the write at its source.
+//
+// A lane function is one whose receiver or parameters include a
+// per-shard lane-state type (*laneState, *rlane, *Lane), or a function
+// literal scheduled onto a lane (an argument to ScheduleLaneDirect or
+// LogIntent). Within one, the analyzer reports:
+//
+//   - assignments or ++/-- through a pointer to a hub type (Network,
+//     Router, Simulator, Sharded, Mux);
+//   - assignments or ++/-- to package-level variables.
+//
+// Writes through the lane-state parameter itself, through locals, and
+// through node-scoped objects stay unflagged — those are the sanctioned
+// channels. A flagged write that is provably reached only in serial
+// context (a consume path the network pins to the global lane, say)
+// carries `//hvdb:serialonly <reason>` citing the argument.
+//
+// Only the packages that participate in sharding are checked; the rest
+// of the tree never runs inside a window.
+var ShardSafe = &Analyzer{
+	Name:        "shardsafe",
+	SuppressKey: "serialonly",
+	Doc: "lane-context code (functions taking *laneState/*rlane/*Lane, or closures " +
+		"scheduled onto lanes) must not write hub objects or package-level state",
+	Run: runShardSafe,
+}
+
+// shardPackages are the packages whose code can execute inside a
+// parallel window (plus the golden corpus).
+var shardPackages = map[string]bool{
+	"repro/internal/des":      true,
+	"repro/internal/network":  true,
+	"repro/internal/georoute": true,
+
+	"repro/internal/testdata/shardsafe": true,
+}
+
+// laneStateTypes are the per-shard state types whose presence in a
+// signature marks a function as lane context.
+var laneStateTypes = map[string]bool{
+	"laneState": true, // network: per-shard memo/counter/pool state
+	"rlane":     true, // georoute: per-shard router scratch
+	"Lane":      true, // network.Lane: the shard-local network view
+}
+
+// hubTypes are the shared single-instance objects lane code may read
+// but never write.
+var hubTypes = map[string]bool{
+	"Network":   true,
+	"Router":    true,
+	"Simulator": true,
+	"Sharded":   true,
+	"Mux":       true,
+}
+
+// laneScheduleFuncs take a callback that executes on a lane.
+var laneScheduleFuncs = map[string]bool{
+	"ScheduleLaneDirect": true,
+	"LogIntent":          true,
+}
+
+func runShardSafe(pass *Pass) {
+	if !shardPackages[pass.Pkg.Path()] {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if laneFunc(pass, fd) {
+				checkLaneBody(pass, fd.Body, laneParams(pass, fd))
+			} else {
+				// Serial functions may still hand literals to a lane.
+				findLaneLiterals(pass, fd.Body)
+			}
+		}
+	}
+}
+
+// laneFunc reports whether a declaration's receiver or parameters
+// include a lane-state type.
+func laneFunc(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			if isLaneStateType(pass.Info.TypeOf(field.Type)) {
+				return true
+			}
+		}
+	}
+	for _, field := range fd.Type.Params.List {
+		if isLaneStateType(pass.Info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// laneParams collects the lane-state parameter objects of a lane
+// function: writes rooted at these are the sanctioned channel.
+func laneParams(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	collect := func(list *ast.FieldList) {
+		if list == nil {
+			return
+		}
+		for _, field := range list.List {
+			if !isLaneStateType(pass.Info.TypeOf(field.Type)) {
+				continue
+			}
+			for _, name := range field.Names {
+				if obj := pass.Info.ObjectOf(name); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	collect(fd.Recv)
+	collect(fd.Type.Params)
+	return out
+}
+
+// isLaneStateType matches *T (or T) for a lane-state type name.
+func isLaneStateType(t types.Type) bool { return namedTypeIn(t, laneStateTypes) }
+
+// isHubType matches *T (or T) for a hub type name.
+func isHubType(t types.Type) bool { return namedTypeIn(t, hubTypes) }
+
+func namedTypeIn(t types.Type, names map[string]bool) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && names[n.Obj().Name()]
+}
+
+// findLaneLiterals scans a serial function for closures scheduled onto
+// lanes and checks their bodies as lane context.
+func findLaneLiterals(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !laneScheduleFuncs[calleeName(call)] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if lit, ok := arg.(*ast.FuncLit); ok {
+				checkLaneBody(pass, lit.Body, nil)
+			}
+		}
+		return true
+	})
+}
+
+// checkLaneBody flags shared-state writes inside lane context. allowed
+// holds the lane-state parameter objects writes may root at.
+func checkLaneBody(pass *Pass, body *ast.BlockStmt, allowed map[types.Object]bool) {
+	report := func(expr ast.Expr) {
+		id := rootIdent(expr)
+		if id == nil {
+			return
+		}
+		obj := pass.Info.ObjectOf(id)
+		if obj == nil || allowed[obj] {
+			return
+		}
+		v, isVar := obj.(*types.Var)
+		if !isVar {
+			return
+		}
+		switch {
+		case v.Parent() == pass.Pkg.Scope():
+			pass.Reportf(expr.Pos(),
+				"lane context writes package-level %s; cross-shard shared state must flow through the lane state or a barrier helper (annotate //hvdb:serialonly <reason> if this path never runs inside a window)",
+				id.Name)
+		case expr != ast.Expr(id) && isHubType(v.Type()):
+			pass.Reportf(expr.Pos(),
+				"lane context writes shared %s state through %s; confine the mutation to the lane state or log an intent for the barrier (annotate //hvdb:serialonly <reason> if this path never runs inside a window)",
+				typeName(v.Type()), id.Name)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				report(lhs)
+			}
+		case *ast.IncDecStmt:
+			report(st.X)
+		}
+		return true
+	})
+}
+
+// rootIdent unwraps a selector/index/deref chain to its base
+// identifier: w in w.aux[i].lost, nil for non-chains.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func typeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

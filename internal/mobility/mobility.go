@@ -8,6 +8,22 @@
 // continuous kinematics between updates, which is what the clustering
 // tier's mobility prediction consumes ([23] predicts residence time in a
 // virtual circle from position and velocity).
+//
+// # Piecewise-pure evaluation
+//
+// Every model is a sequence of linear pieces: between two intrinsic
+// breakpoints (a waypoint arrival, an epoch redraw, a wall bounce, an
+// intersection turn) the position is an affine function of time. TrueFix
+// queries inside the current piece are pure — they mutate nothing and
+// their float result depends only on the piece state and the query time,
+// never on which other instants were queried before. All randomness and
+// state mutation happens at piece crossings (Advance), and crossing
+// times are trajectory-intrinsic: the same pieces are produced no matter
+// when or how often the model is queried. This query-path independence
+// is what lets the sharded simulation kernel read positions from
+// concurrent workers inside a synchronization window (the network layer
+// advances every expiring piece at the window barrier, so in-window
+// reads are pure) while staying bit-identical to a serial run.
 package mobility
 
 import (
@@ -22,9 +38,14 @@ import (
 // deterministic given their PRNG stream.
 type Model interface {
 	gps.Source
-	// Advance moves internal state to time now. Callers must advance with
-	// non-decreasing times.
+	// Advance crosses piece boundaries up to and including time now: on
+	// return, PieceEnd() > now. Callers must advance with non-decreasing
+	// times. Advancing within the current piece is a no-op, and TrueFix
+	// queries strictly inside the current piece are pure (no mutation).
 	Advance(now float64)
+	// PieceEnd returns the end of the current linear piece: TrueFix(t)
+	// for t in [pieceStart, PieceEnd()) is a pure affine evaluation.
+	PieceEnd() float64
 	// DriftBound returns constants (speed, jump) bounding how far the
 	// node can move: for any t and dt >= 0, the displacement between
 	// TrueFix(t).Pos and TrueFix(t+dt).Pos is at most speed*dt + jump.
@@ -41,6 +62,9 @@ type Static struct{ P geom.Point }
 // Advance implements Model.
 func (s *Static) Advance(float64) {}
 
+// PieceEnd implements Model: a static node is one infinite piece.
+func (s *Static) PieceEnd() float64 { return math.Inf(1) }
+
 // DriftBound implements Model: a static node never drifts.
 func (s *Static) DriftBound() (speed, jump float64) { return 0, 0 }
 
@@ -50,6 +74,10 @@ func (s *Static) TrueFix(float64) gps.Fix { return gps.Fix{Pos: s.P} }
 // Waypoint is the random waypoint model: pick a uniform destination in
 // the arena, travel at a uniform speed in [MinSpeed, MaxSpeed], pause,
 // repeat. Speeds are in meters per simulated second.
+//
+// One leg (pause + travel) is one piece: the node holds at legPos until
+// moveT, then moves linearly, arriving at endT where the next leg is
+// drawn.
 type Waypoint struct {
 	Arena              geom.Rect
 	MinSpeed, MaxSpeed float64
@@ -57,11 +85,12 @@ type Waypoint struct {
 
 	rng *xrand.Rand
 
-	pos      geom.Point
-	dest     geom.Point
-	speed    float64
-	pauseEnd float64
-	lastT    float64
+	legPos geom.Point  // position held from the leg's start until moveT
+	dest   geom.Point  // waypoint the leg travels to
+	vel    geom.Vector // travel velocity (zero while pausing)
+	speed  float64
+	moveT  float64 // pause end: travel starts here
+	endT   float64 // arrival at dest: the piece boundary
 }
 
 // NewWaypoint returns a waypoint mover starting at a uniform position.
@@ -73,7 +102,7 @@ func NewWaypoint(arena geom.Rect, minSpeed, maxSpeed, maxPause float64, rng *xra
 		MaxPause: maxPause,
 		rng:      rng,
 	}
-	w.pos = uniformPoint(arena, rng)
+	w.legPos = uniformPoint(arena, rng)
 	w.pickLeg(0)
 	return w
 }
@@ -82,6 +111,9 @@ func uniformPoint(r geom.Rect, rng *xrand.Rand) geom.Point {
 	return geom.Pt(rng.Range(r.Min.X, r.Max.X), rng.Range(r.Min.Y, r.Max.Y))
 }
 
+// pickLeg draws the next destination, speed, and pause, starting from
+// legPos at time now. All randomness of the leg is consumed here, so the
+// trajectory does not depend on when the leg is later evaluated.
 func (w *Waypoint) pickLeg(now float64) {
 	w.dest = uniformPoint(w.Arena, w.rng)
 	if w.MaxSpeed <= w.MinSpeed {
@@ -93,10 +125,16 @@ func (w *Waypoint) pickLeg(now float64) {
 		w.speed = 0.1 // avoid the RWP zero-speed freeze pathology
 	}
 	if w.MaxPause > 0 {
-		w.pauseEnd = now + w.rng.Range(0, w.MaxPause)
+		w.moveT = now + w.rng.Range(0, w.MaxPause)
 	} else {
-		w.pauseEnd = now
+		w.moveT = now
 	}
+	travel := w.legPos.Dist(w.dest) / w.speed
+	if travel < 1e-9 {
+		travel = 1e-9 // degenerate zero-length leg: still make progress
+	}
+	w.endT = w.moveT + travel
+	w.vel = w.dest.Sub(w.legPos).Unit().Scale(w.speed)
 }
 
 // DriftBound implements Model: waypoint speed never exceeds the larger
@@ -106,55 +144,102 @@ func (w *Waypoint) DriftBound() (speed, jump float64) {
 	return math.Max(s, 0.1), 0
 }
 
+// PieceEnd implements Model.
+func (w *Waypoint) PieceEnd() float64 { return w.endT }
+
 // Advance implements Model.
 func (w *Waypoint) Advance(now float64) {
-	for now > w.lastT {
-		if now < w.pauseEnd { // still pausing
-			w.lastT = now
-			return
-		}
-		start := math.Max(w.lastT, w.pauseEnd)
-		dist := w.pos.Dist(w.dest)
-		travel := dist / w.speed
-		if start+travel <= now { // reach destination within the step
-			w.pos = w.dest
-			w.lastT = start + travel
-			w.pickLeg(w.lastT)
-			if w.lastT >= now {
-				w.lastT = now
-				return
-			}
-			continue
-		}
-		frac := (now - start) / travel
-		w.pos = w.pos.Add(w.dest.Sub(w.pos).Scale(frac))
-		w.lastT = now
+	for now >= w.endT {
+		w.legPos = w.dest
+		w.pickLeg(w.endT)
 	}
 }
 
 // TrueFix implements gps.Source.
 func (w *Waypoint) TrueFix(now float64) gps.Fix {
 	w.Advance(now)
-	if now < w.pauseEnd {
-		return gps.Fix{Pos: w.pos}
+	if now <= w.moveT {
+		return gps.Fix{Pos: w.legPos}
 	}
-	dir := w.dest.Sub(w.pos).Unit()
-	return gps.Fix{Pos: w.pos, Vel: dir.Scale(w.speed)}
+	return gps.Fix{
+		Pos: w.legPos.Add(w.vel.Scale(now - w.moveT)),
+		Vel: w.vel,
+	}
+}
+
+// wallHit returns the time (relative to the piece start) at which a
+// point moving from pos with velocity vel first reaches a wall of the
+// arena, and the velocity after reflecting there. It returns +Inf when
+// the motion never hits a wall (zero or inward velocity).
+func wallHit(arena geom.Rect, pos geom.Point, vel geom.Vector) (dt float64, hitPos geom.Point, refl geom.Vector) {
+	dt = math.Inf(1)
+	hitX, hitY := false, false
+	if vel.DX > 0 {
+		if d := (arena.Max.X - pos.X) / vel.DX; d < dt {
+			dt, hitX, hitY = d, true, false
+		}
+	} else if vel.DX < 0 {
+		if d := (arena.Min.X - pos.X) / vel.DX; d < dt {
+			dt, hitX, hitY = d, true, false
+		}
+	}
+	if vel.DY > 0 {
+		if d := (arena.Max.Y - pos.Y) / vel.DY; d < dt {
+			dt, hitX, hitY = d, false, true
+		} else if d == dt {
+			hitY = true
+		}
+	} else if vel.DY < 0 {
+		if d := (arena.Min.Y - pos.Y) / vel.DY; d < dt {
+			dt, hitX, hitY = d, false, true
+		} else if d == dt {
+			hitY = true
+		}
+	}
+	if math.IsInf(dt, 1) {
+		return dt, pos, vel
+	}
+	if dt < 0 {
+		dt = 0 // float residue: already at (or a hair past) the wall
+	}
+	hitPos = pos.Add(vel.Scale(dt))
+	refl = vel
+	if hitX {
+		// Snap the hit coordinate exactly onto the wall so the next piece
+		// starts inside the arena and its own wall-hit time is positive.
+		if vel.DX > 0 {
+			hitPos.X = arena.Max.X
+		} else {
+			hitPos.X = arena.Min.X
+		}
+		refl.DX = -refl.DX
+	}
+	if hitY {
+		if vel.DY > 0 {
+			hitPos.Y = arena.Max.Y
+		} else {
+			hitPos.Y = arena.Min.Y
+		}
+		refl.DY = -refl.DY
+	}
+	return dt, hitPos, refl
 }
 
 // Walk is a random walk (a.k.a. random direction with reflection): move
 // with a constant speed in a direction re-drawn every Epoch seconds,
-// bouncing off arena walls.
+// bouncing off arena walls. Pieces end at the earlier of the next epoch
+// redraw and the next wall bounce.
 type Walk struct {
 	Arena geom.Rect
 	Speed float64
 	Epoch float64
 
 	rng   *xrand.Rand
-	pos   geom.Point
+	pos   geom.Point // position at the piece start t0
 	vel   geom.Vector
-	nextT float64 // next direction change
-	lastT float64
+	t0    float64
+	nextT float64 // next direction redraw
+	endT  float64 // piece end: min(nextT, wall hit)
 }
 
 // NewWalk returns a random-walk mover starting at a uniform position.
@@ -165,37 +250,57 @@ func NewWalk(arena geom.Rect, speed, epoch float64, rng *xrand.Rand) *Walk {
 	return w
 }
 
+// redirect draws a fresh heading at the piece start t0.
 func (w *Walk) redirect() {
 	angle := w.rng.Range(-math.Pi, math.Pi)
 	w.vel = geom.FromPolar(w.Speed, angle)
-	w.nextT = w.lastT + w.Epoch
+	w.nextT = w.t0 + w.Epoch
+	w.seal()
+}
+
+// seal recomputes the piece end for the current (pos, vel, t0, nextT).
+func (w *Walk) seal() {
+	w.endT = w.nextT
+	if dt, _, _ := wallHit(w.Arena, w.pos, w.vel); w.t0+dt < w.endT {
+		w.endT = w.t0 + dt
+	}
 }
 
 // DriftBound implements Model.
 func (w *Walk) DriftBound() (speed, jump float64) { return w.Speed, 0 }
 
+// PieceEnd implements Model.
+func (w *Walk) PieceEnd() float64 { return w.endT }
+
 // Advance implements Model.
 func (w *Walk) Advance(now float64) {
-	for now > w.lastT {
-		step := math.Min(now, w.nextT) - w.lastT
-		w.pos, w.vel = w.Arena.Reflect(w.pos.Add(w.vel.Scale(step)), w.vel)
-		w.lastT += step
-		if w.lastT >= w.nextT {
+	for now >= w.endT {
+		if w.endT >= w.nextT { // epoch boundary: redraw the heading
+			w.pos = w.pos.Add(w.vel.Scale(w.nextT - w.t0))
+			w.t0 = w.nextT
 			w.redirect()
+			continue
 		}
+		// Wall bounce: reflect at the exact hit point.
+		_, hitPos, refl := wallHit(w.Arena, w.pos, w.vel)
+		w.pos, w.vel = hitPos, refl
+		w.t0 = w.endT
+		w.seal()
 	}
 }
 
 // TrueFix implements gps.Source.
 func (w *Walk) TrueFix(now float64) gps.Fix {
 	w.Advance(now)
-	return gps.Fix{Pos: w.pos, Vel: w.vel}
+	return gps.Fix{Pos: w.pos.Add(w.vel.Scale(now - w.t0)), Vel: w.vel}
 }
 
 // GaussMarkov produces temporally correlated motion: speed and direction
 // follow first-order autoregressive processes with memory Alpha in
 // [0, 1] (1 = straight-line, 0 = memoryless), updated every Epoch
 // seconds. It avoids the sharp-turn artifacts of random waypoint.
+// Between epoch updates the motion is linear, bouncing off walls, so a
+// piece ends at the earlier of the next epoch and the next wall hit.
 type GaussMarkov struct {
 	Arena     geom.Rect
 	MeanSpeed float64
@@ -211,11 +316,13 @@ type GaussMarkov struct {
 	SpeedCap float64
 
 	rng   *xrand.Rand
-	pos   geom.Point
+	pos   geom.Point // position at the piece start t0
 	speed float64
 	dir   float64
-	nextT float64
-	lastT float64
+	vel   geom.Vector
+	t0    float64
+	nextT float64 // next AR(1) epoch update
+	endT  float64 // piece end: min(nextT, wall hit)
 }
 
 // NewGaussMarkov returns a Gauss-Markov mover starting at a uniform
@@ -229,6 +336,7 @@ func NewGaussMarkov(arena geom.Rect, meanSpeed, alpha, epoch float64, rng *xrand
 	g.speed = meanSpeed
 	g.dir = rng.Range(-math.Pi, math.Pi)
 	g.nextT = epoch
+	g.seal()
 	return g
 }
 
@@ -241,22 +349,28 @@ func (g *GaussMarkov) speedCap() float64 {
 	return g.MeanSpeed + 6*g.SigmaS
 }
 
+// seal recomputes the cached velocity and piece end.
+func (g *GaussMarkov) seal() {
+	g.vel = geom.FromPolar(g.speed, g.dir)
+	g.endT = g.nextT
+	if dt, _, _ := wallHit(g.Arena, g.pos, g.vel); g.t0+dt < g.endT {
+		g.endT = g.t0 + dt
+	}
+}
+
 // DriftBound implements Model: Advance clamps the speed process to
 // speedCap, so it is a hard bound on instantaneous speed.
 func (g *GaussMarkov) DriftBound() (speed, jump float64) { return g.speedCap(), 0 }
 
+// PieceEnd implements Model.
+func (g *GaussMarkov) PieceEnd() float64 { return g.endT }
+
 // Advance implements Model.
 func (g *GaussMarkov) Advance(now float64) {
-	for now > g.lastT {
-		step := math.Min(now, g.nextT) - g.lastT
-		vel := geom.FromPolar(g.speed, g.dir)
-		var refl geom.Vector
-		g.pos, refl = g.Arena.Reflect(g.pos.Add(vel.Scale(step)), vel)
-		if refl != vel { // bounced: adopt the reflected heading
-			g.dir = refl.Angle()
-		}
-		g.lastT += step
-		if g.lastT >= g.nextT {
+	for now >= g.endT {
+		if g.endT >= g.nextT { // epoch boundary: AR(1) update
+			g.pos = g.pos.Add(g.vel.Scale(g.nextT - g.t0))
+			g.t0 = g.nextT
 			a := g.Alpha
 			g.speed = a*g.speed + (1-a)*g.MeanSpeed +
 				math.Sqrt(1-a*a)*g.SigmaS*g.rng.NormFloat64()
@@ -269,14 +383,24 @@ func (g *GaussMarkov) Advance(now float64) {
 			g.dir = a*g.dir + (1-a)*g.dir + // mean direction = current
 				math.Sqrt(1-a*a)*g.SigmaD*g.rng.NormFloat64()
 			g.nextT += g.Epoch
+			g.seal()
+			continue
 		}
+		// Wall bounce: adopt the reflected heading at the exact hit point.
+		_, hitPos, refl := wallHit(g.Arena, g.pos, g.vel)
+		g.pos = hitPos
+		g.t0 = g.endT
+		if refl != g.vel {
+			g.dir = refl.Angle()
+		}
+		g.seal()
 	}
 }
 
 // TrueFix implements gps.Source.
 func (g *GaussMarkov) TrueFix(now float64) gps.Fix {
 	g.Advance(now)
-	return gps.Fix{Pos: g.pos, Vel: geom.FromPolar(g.speed, g.dir)}
+	return gps.Fix{Pos: g.pos.Add(g.vel.Scale(now - g.t0)), Vel: g.vel}
 }
 
 // Group implements reference point group mobility (RPGM): a logical
@@ -296,7 +420,9 @@ func NewGroup(arena geom.Rect, minSpeed, maxSpeed, maxPause float64, rng *xrand.
 // Member returns a Model for one group member with the given offset from
 // the center and jitter radius.
 func (g *Group) Member(offset geom.Vector, jitter float64, rng *xrand.Rand) Model {
-	return &groupMember{group: g, offset: offset, jitter: jitter, rng: rng}
+	m := &groupMember{group: g, offset: offset, jitter: jitter, rng: rng}
+	m.redraw()
+	return m
 }
 
 type groupMember struct {
@@ -305,12 +431,33 @@ type groupMember struct {
 	jitter float64
 	rng    *xrand.Rand
 
-	lastJitterT float64
-	jitterVec   geom.Vector
+	// jitterVec is redrawn once per whole simulated second: epoch k
+	// covers [k, k+1). The redraw grid is trajectory-intrinsic (one draw
+	// per elapsed second, queried or not), so member trajectories do not
+	// depend on when they are sampled.
+	epoch     int
+	jitterVec geom.Vector
+}
+
+func (m *groupMember) redraw() {
+	angle := m.rng.Range(-math.Pi, math.Pi)
+	m.jitterVec = geom.FromPolar(m.rng.Range(0, m.jitter), angle)
 }
 
 // Advance implements Model.
-func (m *groupMember) Advance(now float64) { m.group.center.Advance(now) }
+func (m *groupMember) Advance(now float64) {
+	m.group.center.Advance(now)
+	for e := int(math.Floor(now)); m.epoch < e; {
+		m.epoch++
+		m.redraw()
+	}
+}
+
+// PieceEnd implements Model: a member's piece ends at the earlier of
+// the group center's piece end and its next jitter redraw.
+func (m *groupMember) PieceEnd() float64 {
+	return math.Min(m.group.center.PieceEnd(), float64(m.epoch+1))
+}
 
 // DriftBound implements Model: a member drifts with the group center
 // plus the jitter discontinuity (the jitter vector is redrawn once per
@@ -323,14 +470,8 @@ func (m *groupMember) DriftBound() (speed, jump float64) {
 
 // TrueFix implements gps.Source.
 func (m *groupMember) TrueFix(now float64) gps.Fix {
+	m.Advance(now)
 	f := m.group.center.TrueFix(now)
-	// Refresh the intra-group jitter once per simulated second: members
-	// wander within a disc around their formation slot.
-	if now-m.lastJitterT >= 1 || (m.jitterVec == geom.Vector{} && m.jitter > 0) {
-		angle := m.rng.Range(-math.Pi, math.Pi)
-		m.jitterVec = geom.FromPolar(m.rng.Range(0, m.jitter), angle)
-		m.lastJitterT = now
-	}
 	f.Pos = f.Pos.Add(m.offset).Add(m.jitterVec)
 	return f
 }
@@ -338,16 +479,18 @@ func (m *groupMember) TrueFix(now float64) gps.Fix {
 // Manhattan is the Manhattan-grid mobility model used for vehicular
 // scenarios: nodes move only along the lines of a street grid with the
 // given block size, choosing straight/left/right at intersections with
-// probabilities 0.5/0.25/0.25 (the standard parameterization).
+// probabilities 0.5/0.25/0.25 (the standard parameterization). One
+// street segment (run to the next intersection) is one piece.
 type Manhattan struct {
 	Arena geom.Rect
 	Block float64
 	Speed float64
 
-	rng   *xrand.Rand
-	pos   geom.Point
-	dir   geom.Vector // unit axis direction
-	lastT float64
+	rng  *xrand.Rand
+	pos  geom.Point  // position at the piece start t0
+	dir  geom.Vector // unit axis direction
+	t0   float64
+	endT float64 // arrival at the next intersection
 }
 
 // NewManhattan returns a mover starting at a random intersection heading
@@ -380,6 +523,7 @@ func NewManhattan(arena geom.Rect, block, speed float64, rng *xrand.Rand) *Manha
 		}
 		m.dir = m.randomAxis()
 	}
+	m.seal()
 	return m
 }
 
@@ -422,47 +566,55 @@ func (m *Manhattan) turn() {
 	m.dir = m.dir.Scale(-1) // dead end: U-turn
 }
 
+// along returns the distance to the next intersection along the current
+// street from the piece-start position.
+func (m *Manhattan) along() float64 {
+	var along float64
+	if m.dir.DX != 0 {
+		offset := math.Mod(m.pos.X-m.Arena.Min.X, m.Block)
+		if m.dir.DX > 0 {
+			along = m.Block - offset
+		} else {
+			along = offset
+		}
+	} else {
+		offset := math.Mod(m.pos.Y-m.Arena.Min.Y, m.Block)
+		if m.dir.DY > 0 {
+			along = m.Block - offset
+		} else {
+			along = offset
+		}
+	}
+	if along < 1e-9 {
+		along = m.Block
+	}
+	return along
+}
+
+// seal recomputes the piece end for the current (pos, dir, t0).
+func (m *Manhattan) seal() { m.endT = m.t0 + m.along()/m.Speed }
+
 // DriftBound implements Model.
 func (m *Manhattan) DriftBound() (speed, jump float64) { return m.Speed, 0 }
 
+// PieceEnd implements Model.
+func (m *Manhattan) PieceEnd() float64 { return m.endT }
+
 // Advance implements Model.
 func (m *Manhattan) Advance(now float64) {
-	for now > m.lastT {
-		// Distance to the next intersection along the current street.
-		var along float64
-		if m.dir.DX != 0 {
-			offset := math.Mod(m.pos.X-m.Arena.Min.X, m.Block)
-			if m.dir.DX > 0 {
-				along = m.Block - offset
-			} else {
-				along = offset
-			}
-		} else {
-			offset := math.Mod(m.pos.Y-m.Arena.Min.Y, m.Block)
-			if m.dir.DY > 0 {
-				along = m.Block - offset
-			} else {
-				along = offset
-			}
-		}
-		if along < 1e-9 {
-			along = m.Block
-		}
-		tToNext := along / m.Speed
-		step := now - m.lastT
-		if step < tToNext {
-			m.pos = m.pos.Add(m.dir.Scale(step * m.Speed))
-			m.lastT = now
-			return
-		}
-		m.pos = m.pos.Add(m.dir.Scale(along))
-		m.lastT += tToNext
+	for now >= m.endT {
+		m.pos = m.pos.Add(m.dir.Scale(m.along()))
+		m.t0 = m.endT
 		m.turn()
+		m.seal()
 	}
 }
 
 // TrueFix implements gps.Source.
 func (m *Manhattan) TrueFix(now float64) gps.Fix {
 	m.Advance(now)
-	return gps.Fix{Pos: m.pos, Vel: m.dir.Scale(m.Speed)}
+	return gps.Fix{
+		Pos: m.pos.Add(m.dir.Scale(m.Speed * (now - m.t0))),
+		Vel: m.dir.Scale(m.Speed),
+	}
 }

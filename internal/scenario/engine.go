@@ -130,7 +130,7 @@ func (w *World) RunScript(stk protocol.Stack, sc *Script) (*ScriptResult, error)
 		rng := xrand.New(runner.DeriveSeed(w.Spec.Seed^scriptSeedSalt, i))
 		r.schedule(start, d, rng)
 	}
-	w.Sim.RunUntil(start + des.Duration(sc.Horizon()) + drainMargin)
+	w.RunUntil(start + des.Duration(sc.Horizon()) + drainMargin)
 	stk.Deliveries(nil)
 
 	r.res.Elapsed = w.Sim.Now() - start
