@@ -22,6 +22,18 @@ const scriptSeedSalt = 0x5c71b7e1a9d2f04d
 // the script's horizon so in-flight packets settle.
 const drainMargin des.Duration = 5
 
+// audienceTTL bounds how long a packet's send-time audience entry is
+// retained: an entry is released once every audience member has been
+// accounted for, or this long after the send — whichever comes first.
+// Deliveries settle well inside the drain margin (that is what
+// drainMargin exists for), so the TTL reuses it; since every send
+// happens at or before the script horizon (Directive.end bounds each
+// generator), every entry expires by the end of the drain and the
+// audience map is empty at teardown. This keeps live audience state
+// proportional to the send rate over one TTL window instead of the
+// total packet count of the run.
+const audienceTTL = drainMargin
+
 // ScriptResult reports the measured outcome of one script run.
 type ScriptResult struct {
 	// Script is the script's name.
@@ -43,6 +55,14 @@ type ScriptResult struct {
 	Jain float64
 	// Elapsed is the simulated span of the run including the drain.
 	Elapsed des.Duration
+	// AudiencePeak is the high-water mark of concurrently tracked
+	// audience entries — the engine's retained per-packet state is
+	// bounded by the send rate over one audienceTTL window, not by the
+	// total packet count. AudienceOpen is how many entries were still
+	// tracked at teardown; it is always 0 (entries are released when
+	// fully accounted or on TTL expiry), mirroring the
+	// PooledInFlight()==0 pool-leak check.
+	AudiencePeak, AudienceOpen int
 }
 
 // PDR returns Delivered / Expected.
@@ -60,9 +80,14 @@ type scriptRun struct {
 	res ScriptResult
 
 	// current mirrors the engine-driven membership per group; audience
-	// snapshots the live current members of each sent packet.
+	// snapshots the live current members of each sent packet. Entries
+	// are released when fully accounted or on TTL expiry (audienceTTL);
+	// audQ[audHead:] is the pending-expiry FIFO in send order, so expiry
+	// is a deterministic O(1) front pop (send times are nondecreasing).
 	current  map[membership.Group]map[network.NodeID]bool
-	audience map[uint64]map[network.NodeID]bool
+	audience map[uint64]*audEntry
+	audQ     []audPending
+	audHead  int
 	delays   stats.Sample
 
 	// Radio-loss window bookkeeping, shared across (possibly
@@ -74,6 +99,19 @@ type scriptRun struct {
 	// final close restores the base values exactly.
 	lossBase   []float64
 	lossActive []float64
+}
+
+// audEntry is the retained state of one in-flight script packet: the
+// members still owed a delivery. The member bit clears as each delivery
+// is counted, so len(members)==0 means fully accounted.
+type audEntry struct {
+	members map[network.NodeID]bool
+}
+
+// audPending queues one packet for TTL expiry.
+type audPending struct {
+	uid    uint64
+	expire des.Time
 }
 
 type churnVictim struct {
@@ -112,7 +150,7 @@ func (w *World) RunScript(stk protocol.Stack, sc *Script) (*ScriptResult, error)
 		stk:      stk,
 		res:      ScriptResult{Script: sc.Name},
 		current:  make(map[membership.Group]map[network.NodeID]bool),
-		audience: make(map[uint64]map[network.NodeID]bool),
+		audience: make(map[uint64]*audEntry),
 	}
 	for g, members := range w.Members {
 		set := make(map[network.NodeID]bool, len(members))
@@ -133,6 +171,13 @@ func (w *World) RunScript(stk protocol.Stack, sc *Script) (*ScriptResult, error)
 	w.RunUntil(start + des.Duration(sc.Horizon()) + drainMargin)
 	stk.Deliveries(nil)
 
+	// Every send happened at or before the horizon, so every surviving
+	// entry has expired by now; the sweep leaves the map empty unless
+	// the release bookkeeping has a leak — which AudienceOpen reports,
+	// mirroring the pooled-packet teardown check.
+	r.expireAudience(w.Sim.Now())
+	r.res.AudienceOpen = len(r.audience)
+
 	r.res.Elapsed = w.Sim.Now() - start
 	if n := w.Net.Len(); n > 0 && r.res.Elapsed > 0 {
 		r.res.CtrlPerNodeS = float64(w.Net.Stats().ControlBytes-ctrl0) / float64(n) / float64(r.res.Elapsed)
@@ -145,15 +190,19 @@ func (w *World) RunScript(stk protocol.Stack, sc *Script) (*ScriptResult, error)
 }
 
 // onDeliver classifies one delivery against the packet's send-time
-// audience.
+// audience and releases the entry once every member is accounted for.
 func (r *scriptRun) onDeliver(member network.NodeID, uid uint64, born des.Time, _ int) {
-	aud, ok := r.audience[uid]
+	e, ok := r.audience[uid]
 	if !ok {
-		return // not a script packet
+		return // not a script packet (or already released)
 	}
-	if aud[member] {
+	if e.members[member] {
 		r.res.Delivered++
 		r.delays.Add(float64(r.w.Sim.Now() - born))
+		delete(e.members, member)
+		if len(e.members) == 0 {
+			delete(r.audience, uid) // fully accounted
+		}
 	} else {
 		r.res.Stale++
 	}
@@ -162,6 +211,8 @@ func (r *scriptRun) onDeliver(member network.NodeID, uid uint64, born des.Time, 
 // send originates one script packet and snapshots its audience: the
 // current members of the group that are up right now.
 func (r *scriptRun) send(src network.NodeID, g membership.Group, payload int) {
+	now := r.w.Sim.Now()
+	r.expireAudience(now)
 	uid := r.stk.Send(src, g, payload)
 	if uid == 0 {
 		return // source down or unreachable: nothing on the air
@@ -173,8 +224,30 @@ func (r *scriptRun) send(src network.NodeID, g membership.Group, payload int) {
 			aud[id] = true
 		}
 	}
-	r.audience[uid] = aud
+	r.audience[uid] = &audEntry{members: aud}
+	r.audQ = append(r.audQ, audPending{uid: uid, expire: now + audienceTTL})
+	if open := len(r.audience); open > r.res.AudiencePeak {
+		r.res.AudiencePeak = open
+	}
 	r.res.Expected += len(aud)
+}
+
+// expireAudience releases audience entries whose TTL has passed. Sends
+// happen at nondecreasing times, so the pending queue is scanned from
+// the front only; entries already released as fully accounted make the
+// delete a no-op. The spent queue prefix is compacted once it dominates
+// the backing array, keeping the queue itself bounded by the live
+// window too.
+func (r *scriptRun) expireAudience(now des.Time) {
+	for r.audHead < len(r.audQ) && r.audQ[r.audHead].expire <= now {
+		delete(r.audience, r.audQ[r.audHead].uid)
+		r.audHead++
+	}
+	if r.audHead > 64 && r.audHead*2 >= len(r.audQ) {
+		n := copy(r.audQ, r.audQ[r.audHead:])
+		r.audQ = r.audQ[:n]
+		r.audHead = 0
+	}
 }
 
 // schedule installs one directive's events on the simulator.
