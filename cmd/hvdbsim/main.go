@@ -333,7 +333,7 @@ func runTrial(spec scenario.Spec, cfg trialConfig, traceCat string, verbose bool
 		fmt.Printf("warm-up done at t=%.1fs: %d clusters headed\n", float64(w.Sim.Now()), res.clusters)
 	}
 
-	var delays stats.Sample
+	var delays stats.LogHist
 	if cfg.script != nil {
 		res.script = cfg.script.Name
 		sr, err := w.RunScript(stk, cfg.script)

@@ -83,7 +83,7 @@ func ClaimChurn(o Options) []*Table {
 		// Per-send audience snapshot.
 		audience := map[uint64]map[network.NodeID]bool{}
 		delivered, stale := 0, 0
-		var delays stats.Sample
+		var delays stats.LogHist
 		stk.Deliveries(func(member network.NodeID, uid uint64, born des.Time, hops int) {
 			aud, ok := audience[uid]
 			if !ok {

@@ -10,13 +10,16 @@ import (
 )
 
 // runMetrics accumulates delivery statistics for one traffic phase.
+// Delays and hop counts stream into log-spaced histograms at delivery
+// time (exact means, bounded-error percentiles), so the retained metric
+// state is O(1) in the packet count.
 type runMetrics struct {
 	sim      *des.Simulator
 	expected map[uint64]int // uid -> audience size at send time
 
 	delivered int
-	delays    stats.Sample
-	hops      stats.Sample
+	delays    stats.LogHist
+	hops      stats.LogHist
 }
 
 func newRunMetrics(sim *des.Simulator) *runMetrics {

@@ -63,6 +63,12 @@ type ScriptResult struct {
 	// fully accounted or on TTL expiry), mirroring the
 	// PooledInFlight()==0 pool-leak check.
 	AudiencePeak, AudienceOpen int
+	// DelaySamples is how many deliveries the delay histogram absorbed
+	// (always equal to Delivered), and DelayDigest its full-state
+	// fingerprint — the scengen harness asserts both are rerun-,
+	// worker-, and shard-count-invariant.
+	DelaySamples int
+	DelayDigest  uint64
 }
 
 // PDR returns Delivered / Expected.
@@ -88,7 +94,11 @@ type scriptRun struct {
 	audience map[uint64]*audEntry
 	audQ     []audPending
 	audHead  int
-	delays   stats.Sample
+	// delays streams into a log-spaced histogram at delivery time: the
+	// engine retains O(1) metric state per run, not one float64 per
+	// delivery. Mean stays exact; P50/P95 carry the histogram's bounded
+	// relative error (stats.LogHist.Percentile).
+	delays stats.LogHist
 
 	// Radio-loss window bookkeeping, shared across (possibly
 	// overlapping) radio-loss directives: lossBase holds each node's
@@ -186,6 +196,8 @@ func (w *World) RunScript(stk protocol.Stack, sc *Script) (*ScriptResult, error)
 	r.res.MeanDelay = r.delays.Mean()
 	r.res.P50Delay = r.delays.Percentile(50)
 	r.res.P95Delay = r.delays.Percentile(95)
+	r.res.DelaySamples = r.delays.N()
+	r.res.DelayDigest = r.delays.Fingerprint()
 	return &r.res, nil
 }
 

@@ -73,6 +73,14 @@ const (
 	// InvStats: the stats empty-sample contract — no NaN/Inf anywhere,
 	// zero deliveries mean zero delay metrics, PDR and Jain in [0,1].
 	InvStats = "stats"
+	// InvStream: the streaming-metrics contract — every audience entry
+	// is released by script teardown (ScriptResult.AudienceOpen == 0,
+	// the audience-map analogue of the pool-leak check) and the delay
+	// histogram absorbed exactly one observation per counted delivery
+	// (DelaySamples == Delivered). The histogram's full-state digest is
+	// part of the fingerprint, so its rerun/worker/shard invariance is
+	// enforced by the fp comparisons of those invariants.
+	InvStream = "stream"
 )
 
 // Violation is one broken invariant on one protocol arm.
@@ -114,9 +122,10 @@ type runOutcome struct {
 	// fp renders every measured field at %v (shortest round-trip)
 	// precision plus the executed-event count, so string equality is
 	// bit equality.
-	fp       string
-	inflight int
-	statsErr string
+	fp        string
+	inflight  int
+	statsErr  string
+	streamErr string
 	// shardNote is non-empty when the spec asked for sharding and the
 	// world fell back to serial (scenario.World.ShardNote).
 	shardNote string
@@ -146,14 +155,30 @@ func runArm(spec scenario.Spec, arm string, sc *scenario.Script, warmup des.Dura
 	w.RunUntil(w.Sim.Now() + 5) // drain in-flight deliveries and stopped tickers
 	w.Sim.Run()                 // and any stragglers past the drain window
 	return runOutcome{
-		fp: fmt.Sprintf("sent=%d expected=%d delivered=%d stale=%d mean=%v p50=%v p95=%v ctrl=%v jain=%v elapsed=%v events=%d",
+		fp: fmt.Sprintf("sent=%d expected=%d delivered=%d stale=%d mean=%v p50=%v p95=%v ctrl=%v jain=%v elapsed=%v events=%d delaydg=%#x audpeak=%d",
 			res.Sent, res.Expected, res.Delivered, res.Stale,
 			res.MeanDelay, res.P50Delay, res.P95Delay, res.CtrlPerNodeS, res.Jain, res.Elapsed,
-			w.Sim.Executed()),
+			w.Sim.Executed(), res.DelayDigest, res.AudiencePeak),
 		inflight:  w.Net.PooledInFlight(),
 		statsErr:  statsContract(res),
+		streamErr: streamContract(res),
 		shardNote: w.ShardNote,
 	}
+}
+
+// streamContract checks the streaming-metrics bookkeeping of a result;
+// it returns "" when the result honors it.
+func streamContract(res *scenario.ScriptResult) string {
+	if res.AudienceOpen != 0 {
+		return fmt.Sprintf("%d audience entries still tracked at teardown", res.AudienceOpen)
+	}
+	if res.DelaySamples != res.Delivered {
+		return fmt.Sprintf("delay histogram absorbed %d samples for %d deliveries", res.DelaySamples, res.Delivered)
+	}
+	if res.AudiencePeak > res.Sent {
+		return fmt.Sprintf("audience peak %d exceeds %d sends", res.AudiencePeak, res.Sent)
+	}
+	return ""
 }
 
 // statsContract checks the empty-sample/no-NaN contract of a result;
@@ -223,6 +248,9 @@ func Check(cfg CheckConfig, sc *scenario.Script) *Report {
 		}
 		if out.statsErr != "" {
 			rep.Violations = append(rep.Violations, Violation{InvStats, arm, out.statsErr})
+		}
+		if out.streamErr != "" {
+			rep.Violations = append(rep.Violations, Violation{InvStream, arm, out.streamErr})
 		}
 		second := runArm(cfg.Spec, arm, sc, cfg.Warmup, false)
 		if second.err != nil {
