@@ -404,7 +404,7 @@ func (b *Backbone) BeaconRound() {
 		entries, arena = b.exportEntries(slot, now, arena)
 		free := 0.0
 		if n := b.net.Node(ch); n != nil {
-			free = n.Cap.Free()
+			free = n.Capacity().Free()
 		}
 		payload := &beaconPayload{FromSlot: slot, Sent: now, FreeBW: free, Entries: entries}
 		size := b.cfg.BeaconHeader + len(entries)*b.cfg.BeaconEntry

@@ -265,12 +265,17 @@ type Service struct {
 	// merge runs once per received summary.
 	trOn bool
 
-	joined   []map[Group]bool // by node ID
-	reported []bool           // nodes that sent a non-empty report last round
-	slots    []*slotState     // by CH slot index (grid.Count() lanes)
-	labels   int              // 2^dim, the in-cube label space
-	numHID   int              // hypercube count of the mesh tier
-	seq      uint64
+	// Member-side state is sparse: only nodes that have joined a group
+	// (or owe one final empty report after leaving their last one) carry
+	// an entry, and active keeps their IDs sorted ascending so
+	// LocalRound visits them in exactly the order the old dense
+	// every-node scan did. Idle nodes in a mega-world cost nothing here.
+	members map[network.NodeID]*memberState
+	active  []network.NodeID // sorted keys of members
+	slots   []*slotState     // by CH slot index (grid.Count() lanes)
+	labels  int              // 2^dim, the in-cube label space
+	numHID  int              // hypercube count of the mesh tier
+	seq     uint64
 
 	// version counts mutations of the summary views trees are computed
 	// from (the MNT and MT views); see SummaryVersion.
@@ -292,14 +297,13 @@ func New(bb *core.Backbone, cfg Config) *Service {
 		cfg = DefaultConfig()
 	}
 	s := &Service{
-		bb:       bb,
-		cfg:      cfg,
-		tr:       trace.Nop,
-		joined:   make([]map[Group]bool, bb.Net().Len()),
-		reported: make([]bool, bb.Net().Len()),
-		slots:    make([]*slotState, bb.Scheme().Grid().Count()),
-		labels:   1 << uint(bb.Scheme().Dim()),
-		numHID:   bb.Scheme().NumHypercubes(),
+		bb:      bb,
+		cfg:     cfg,
+		tr:      trace.Nop,
+		members: make(map[network.NodeID]*memberState),
+		slots:   make([]*slotState, bb.Scheme().Grid().Count()),
+		labels:  1 << uint(bb.Scheme().Dim()),
+		numHID:  bb.Scheme().NumHypercubes(),
 	}
 	bb.HandleInner(LocalKind, s.onLocal)
 	bb.HandleInner(MNTKind, s.onMNT)
@@ -316,41 +320,58 @@ func (s *Service) SetTracer(t trace.Tracer) {
 	s.trOn = t != trace.Nop
 }
 
-// grow ensures per-node state covers nodes added after construction.
-func (s *Service) grow(id network.NodeID) {
-	if int(id) >= len(s.joined) {
-		s.joined = append(s.joined, make([]map[Group]bool, int(id)+1-len(s.joined))...)
+// memberState is the member-side record of one node that currently
+// belongs to a group, or still owes its final empty report.
+type memberState struct {
+	joined   map[Group]bool
+	reported bool // sent a non-empty report last round
+}
+
+// state returns the node's member record, materializing it (and
+// splicing the ID into the sorted active list) on first touch.
+func (s *Service) state(id network.NodeID) *memberState {
+	st := s.members[id]
+	if st == nil {
+		st = &memberState{joined: make(map[Group]bool)}
+		s.members[id] = st
+		i := sort.Search(len(s.active), func(i int) bool { return s.active[i] >= id })
+		s.active = append(s.active, 0)
+		copy(s.active[i+1:], s.active[i:])
+		s.active[i] = id
 	}
-	if int(id) >= len(s.reported) {
-		s.reported = append(s.reported, make([]bool, int(id)+1-len(s.reported))...)
-	}
+	return st
 }
 
 // Join records that the node joined the group (Figure 5 step 1); the
 // change propagates on the next Local-Membership round.
 func (s *Service) Join(id network.NodeID, g Group) {
-	s.grow(id)
-	if s.joined[id] == nil {
-		s.joined[id] = make(map[Group]bool)
-	}
-	s.joined[id][g] = true
+	s.state(id).joined[g] = true
 }
 
 // Leave records that the node left the group.
 func (s *Service) Leave(id network.NodeID, g Group) {
-	s.grow(id)
-	delete(s.joined[id], g)
+	if st := s.members[id]; st != nil {
+		delete(st.joined, g)
+	}
 }
 
 // GroupsOf returns the groups the node has joined, sorted.
 func (s *Service) GroupsOf(id network.NodeID) []Group {
-	s.grow(id)
-	out := make([]Group, 0, len(s.joined[id]))
-	for g := range s.joined[id] {
+	st := s.members[id]
+	out := make([]Group, 0, len(st.joinedOrNil()))
+	for g := range st.joinedOrNil() {
 		out = append(out, g)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// joinedOrNil tolerates absent member records.
+func (st *memberState) joinedOrNil() map[Group]bool {
+	if st == nil {
+		return nil
+	}
+	return st.joined
 }
 
 // Start schedules the three periodic rounds.
@@ -461,18 +482,26 @@ func (s *Service) LocalRound() {
 	net := s.bb.Net()
 	cm := s.bb.Clusters()
 	grid := s.bb.Scheme().Grid()
-	for _, n := range net.Nodes() {
-		if !n.Up() {
+	// Visit only nodes carrying member state, in ascending ID order —
+	// the same nodes, in the same order, the old dense every-node scan
+	// reported after its skip filter.
+	kept := s.active[:0]
+	for _, id := range s.active {
+		st := s.members[id]
+		n := net.Node(id)
+		if n == nil || !n.Up() {
+			kept = append(kept, id)
 			continue
 		}
-		s.grow(n.ID)
 		// A node reports when it has memberships, plus one final empty
 		// report right after leaving its last group so the CH forgets it
-		// immediately.
-		if len(s.joined[n.ID]) == 0 && !s.reported[n.ID] {
+		// immediately; after that final report its record retires.
+		if len(st.joined) == 0 && !st.reported {
+			delete(s.members, id)
 			continue
 		}
-		s.reported[n.ID] = len(s.joined[n.ID]) > 0
+		kept = append(kept, id)
+		st.reported = len(st.joined) > 0
 		pos := n.Fix().Pos
 		vcs := []vcgrid.VC{grid.VCOf(pos)}
 		if s.cfg.MultiHome {
@@ -500,6 +529,7 @@ func (s *Service) LocalRound() {
 			net.ReleasePacket(pkt)
 		}
 	}
+	s.active = kept
 }
 
 func (s *Service) onLocal(n *network.Node, _ network.NodeID, pkt *network.Packet) {

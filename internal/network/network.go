@@ -134,10 +134,13 @@ type Node struct {
 	// CHCapable marks nodes with the stronger capability class that the
 	// paper requires of cluster heads.
 	CHCapable bool
-	// Cap meters residual bandwidth for QoS admission.
-	Cap *radio.Capacity
+	// cap meters residual bandwidth for QoS admission. It is lazily
+	// materialized by Capacity(): only nodes an admission plane actually
+	// touches pay for the meter, so the millions of idle nodes in a
+	// mega-world carry none.
+	cap *radio.Capacity
 
-	rng *xrand.Rand
+	rng xrand.Rand    // private stream, split off the network's at AddNode
 	pre radio.Precomp // cached link budget of Radio
 
 	// Traffic counters (transmissions this node performed). Receive
@@ -163,7 +166,18 @@ func (n *Node) Up() bool { return n.net.hot[n.ID].up }
 func (n *Node) SetHandler(h Handler) { n.net.hot[n.ID].handler = h }
 
 // Rand returns the node's private PRNG stream.
-func (n *Node) Rand() *xrand.Rand { return n.rng }
+func (n *Node) Rand() *xrand.Rand { return &n.rng }
+
+// Capacity returns the node's residual-bandwidth meter for QoS
+// admission, materializing it on first touch. A fresh meter is fully
+// free, so lazy allocation is observationally identical to the eager
+// per-node meters it replaces.
+func (n *Node) Capacity() *radio.Capacity {
+	if n.cap == nil {
+		n.cap = radio.NewCapacity(n.Radio.Bandwidth)
+	}
+	return n.cap
+}
 
 // Net returns the owning network.
 func (n *Node) Net() *Network { return n.net }
@@ -283,21 +297,30 @@ type Network struct {
 	tracer trace.Tracer
 	trOn   bool // gates per-loss trace calls (arg boxing allocates)
 
-	// Incremental spatial index over node positions. Cells form a dense
-	// array over the arena (padded by gridPad cells per side for movers
-	// that exceed the arena, e.g. group-motion offsets); out-of-range
-	// positions clamp to the border cells, which preserves query
-	// correctness because clamping never increases cell distance.
+	// Incremental spatial index over node positions. Cells form a
+	// two-level sparse grid over the arena (padded by gridPad cells per
+	// side for movers that exceed the arena, e.g. group-motion offsets);
+	// out-of-range positions clamp to the border cells, which preserves
+	// query correctness because clamping never increases cell distance.
+	// The coarse level is a page directory of tile pointers (tileW x
+	// tileW cells each, nil until a node lands there), so an arena's
+	// index memory is proportional to its occupied area, not its total
+	// cell count — the property that lets sparse mega-arenas scale.
 	// Buckets carry each member's anchor position inline (cellEntry),
 	// so the query prefilter is one sequential scan per bucket and only
-	// surviving candidates touch the per-node spatial state.
+	// surviving candidates touch the per-node spatial state. Tiles are
+	// materialized only from serial context (insert/refresh at window
+	// barriers); scans never allocate, which keeps them pure inside
+	// parallel windows.
 	cellSize float64
 	slack    float64 // staleness tolerance of cached cell positions
 	gridMinX float64
 	gridMinY float64
 	gridCols int
 	gridRows int
-	cells    [][]cellEntry // dense, indexed cy*gridCols+cx
+	tileCols int
+	tileRows int
+	tiles    []*gridTile // page directory, indexed ty*tileCols+tx
 	sp       []spatialState
 	refresh  []NodeID // index min-heap keyed by sp[id].safeUntil
 
@@ -396,9 +419,28 @@ type cellEntry struct {
 	static bool
 }
 
-// gridPad is how many cells the dense grid extends beyond the arena on
+// gridPad is how many cells the grid extends beyond the arena on
 // each side, absorbing movers that wander slightly outside it.
 const gridPad = 2
+
+// Tile geometry of the sparse index: tileW x tileW cells per page.
+// 8x8 keeps a page at 64 slice headers (~1.5 KB) — fine-grained enough
+// that a clustered population in a mega-arena allocates only the pages
+// it stands on, coarse enough that the directory is 1/64th of the cell
+// count in pointers.
+const (
+	tileShift = 3
+	tileW     = 1 << tileShift
+	tileMask  = tileW - 1
+	tileCells = tileW * tileW
+)
+
+// gridTile is one materialized page of the spatial index: a dense
+// tileW x tileW block of ID-ordered buckets, indexed iy<<tileShift|ix
+// with ix, iy the cell coordinates within the tile.
+type gridTile struct {
+	buckets [tileCells][]cellEntry
+}
 
 // maxSlack caps the staleness slack of the incremental index (meters).
 // Larger slack means rarer refreshes but more candidates per query to
@@ -449,15 +491,18 @@ func (w *Network) initLane(ls *laneState, nodes int) {
 	}
 }
 
-// sizeGrid (re)computes the dense grid dimensions for the current cell
-// size and allocates empty buckets.
+// sizeGrid (re)computes the grid dimensions for the current cell size
+// and allocates an empty page directory (tiles materialize on first
+// insert).
 func (w *Network) sizeGrid() {
 	w.slack = math.Min(w.cellSize/2, maxSlack)
 	w.gridMinX = w.arena.Min.X - gridPad*w.cellSize
 	w.gridMinY = w.arena.Min.Y - gridPad*w.cellSize
 	w.gridCols = int(math.Ceil(w.arena.W()/w.cellSize)) + 2*gridPad + 1
 	w.gridRows = int(math.Ceil(w.arena.H()/w.cellSize)) + 2*gridPad + 1
-	w.cells = make([][]cellEntry, w.gridCols*w.gridRows)
+	w.tileCols = (w.gridCols + tileMask) >> tileShift
+	w.tileRows = (w.gridRows + tileMask) >> tileShift
+	w.tiles = make([]*gridTile, w.tileCols*w.tileRows)
 }
 
 // SetTracer installs a tracer; nil resets to no-op. Tracing and the
@@ -495,8 +540,7 @@ func (w *Network) AddNode(mob mobility.Model, rm radio.Model, receiver gps.Recei
 		Radio:     rm,
 		GPS:       receiver,
 		CHCapable: chCapable,
-		Cap:       radio.NewCapacity(rm.Bandwidth),
-		rng:       w.rng.Split(),
+		rng:       *xrand.New(w.rng.Uint64()), // = Split(), stream-identical
 		pre:       rm.Precompute(),
 	}
 	w.nodes = append(w.nodes, n)
@@ -598,7 +642,25 @@ func (w *Network) cellOf(p geom.Point) cellKey {
 	return cellKey{cx, cy}
 }
 
-func (w *Network) cellIndex(c cellKey) int { return c.cy*w.gridCols + c.cx }
+// tileAt returns the page holding a cell, nil if never materialized.
+func (w *Network) tileAt(c cellKey) *gridTile {
+	return w.tiles[(c.cy>>tileShift)*w.tileCols+c.cx>>tileShift]
+}
+
+// ensureTile returns the page holding a cell, materializing it on
+// first touch. Only called from serial context (index maintenance).
+func (w *Network) ensureTile(c cellKey) *gridTile {
+	ti := (c.cy>>tileShift)*w.tileCols + c.cx>>tileShift
+	t := w.tiles[ti]
+	if t == nil {
+		t = &gridTile{}
+		w.tiles[ti] = t
+	}
+	return t
+}
+
+// tileSlot is a cell's bucket index within its page.
+func tileSlot(c cellKey) int { return (c.cy&tileMask)<<tileShift | (c.cx & tileMask) }
 
 // truePos returns the node's exact position at the current instant,
 // memoized so repeated queries within one event burst advance the
@@ -652,10 +714,9 @@ func (w *Network) indexInsert(id NodeID) {
 	pos := w.truePos(n)
 	sp.anchorPos = pos
 	sp.cell = w.cellOf(pos)
-	ci := w.cellIndex(sp.cell)
 	span := w.safeSpan(sp)
 	static := span >= des.Infinity
-	w.bucketInsert(ci, cellEntry{id: id, x: pos.X, y: pos.Y, static: static})
+	w.bucketInsert(sp.cell, cellEntry{id: id, x: pos.X, y: pos.Y, static: static})
 	if static {
 		sp.safeUntil = des.Infinity
 		return // never expires (static node): stay out of the heap
@@ -683,24 +744,31 @@ func (w *Network) indexRemove(id NodeID) {
 // (barriers refresh eagerly) — so the canonical order is what keeps
 // results bit-identical across shard counts.
 
-// bucketInsert places an entry at its ID-ordered slot.
-func (w *Network) bucketInsert(ci int, e cellEntry) {
-	b := append(w.cells[ci], e)
+// bucketInsert places an entry at its ID-ordered slot, materializing
+// the cell's page on first touch.
+func (w *Network) bucketInsert(c cellKey, e cellEntry) {
+	t := w.ensureTile(c)
+	slot := tileSlot(c)
+	b := append(t.buckets[slot], e)
 	i := len(b) - 1
 	for i > 0 && b[i-1].id > e.id {
 		b[i] = b[i-1]
 		i--
 	}
 	b[i] = e
-	w.cells[ci] = b
+	t.buckets[slot] = b
 }
 
 func (w *Network) bucketRemove(c cellKey, id NodeID) {
-	ci := w.cellIndex(c)
-	b := w.cells[ci]
+	t := w.tileAt(c)
+	if t == nil {
+		return
+	}
+	slot := tileSlot(c)
+	b := t.buckets[slot]
 	for i := range b {
 		if b[i].id == id {
-			w.cells[ci] = append(b[:i], b[i+1:]...)
+			t.buckets[slot] = append(b[:i], b[i+1:]...)
 			return
 		}
 	}
@@ -709,7 +777,11 @@ func (w *Network) bucketRemove(c cellKey, id NodeID) {
 // bucketRefresh updates the anchor position stored inline for a node
 // that revalidated without crossing a cell boundary.
 func (w *Network) bucketRefresh(c cellKey, id NodeID, pos geom.Point) {
-	b := w.cells[w.cellIndex(c)]
+	t := w.tileAt(c)
+	if t == nil {
+		return
+	}
+	b := t.buckets[tileSlot(c)]
 	for i := range b {
 		if b[i].id == id {
 			b[i].x, b[i].y = pos.X, pos.Y
@@ -734,7 +806,7 @@ func (w *Network) refreshTo(now des.Time) {
 		if c := w.cellOf(pos); c != sp.cell {
 			w.bucketRemove(sp.cell, id)
 			sp.cell = c
-			w.bucketInsert(w.cellIndex(c), cellEntry{id: id, x: pos.X, y: pos.Y})
+			w.bucketInsert(c, cellEntry{id: id, x: pos.X, y: pos.Y})
 		} else {
 			w.bucketRefresh(sp.cell, id, pos)
 		}
@@ -876,32 +948,52 @@ func (w *Network) scanNeighbors(ls *laneState, n *Node, now des.Time) {
 	c0 := w.cellOf(geom.Pt(p.X-reach, p.Y-reach))
 	c1 := w.cellOf(geom.Pt(p.X+reach, p.Y+reach))
 	r2 := n.pre.Range2
+	// Enumeration order is load-bearing (see the bucket-order comment):
+	// cells are walked row-major — cy ascending, cx ascending — exactly
+	// as the dense grid did, with each row visited tile page by tile
+	// page. A nil page skips its whole tileW-cell span of the row.
+	tx0, tx1 := c0.cx>>tileShift, c1.cx>>tileShift
 	for cy := c0.cy; cy <= c1.cy; cy++ {
-		row := w.cells[cy*w.gridCols+c0.cx : cy*w.gridCols+c1.cx+1]
-		for _, bucket := range row {
-			for i := range bucket {
-				e := &bucket[i]
-				// The prefilter runs entirely on the bucket's inline
-				// anchor copies — no per-node loads for rejected
-				// candidates.
-				dx, dy := p.X-e.x, p.Y-e.y
-				d2 := dx*dx + dy*dy
-				if d2 > reach2 || e.id == id {
-					continue
-				}
-				if e.static {
-					// Static nodes never drift: the anchor is the exact
-					// position.
-					if d2 <= r2 {
-						ids = append(ids, e.id)
-						pos = append(pos, geom.Pt(e.x, e.y))
+		base := (cy >> tileShift) * w.tileCols
+		iy := (cy & tileMask) << tileShift
+		for tx := tx0; tx <= tx1; tx++ {
+			t := w.tiles[base+tx]
+			if t == nil {
+				continue
+			}
+			lo, hi := 0, tileMask
+			if tx == tx0 {
+				lo = c0.cx & tileMask
+			}
+			if tx == tx1 {
+				hi = c1.cx & tileMask
+			}
+			row := t.buckets[iy+lo : iy+hi+1]
+			for _, bucket := range row {
+				for i := range bucket {
+					e := &bucket[i]
+					// The prefilter runs entirely on the bucket's inline
+					// anchor copies — no per-node loads for rejected
+					// candidates.
+					dx, dy := p.X-e.x, p.Y-e.y
+					d2 := dx*dx + dy*dy
+					if d2 > reach2 || e.id == id {
+						continue
 					}
-					continue
-				}
-				op := w.truePosAt(ls, e.id, now)
-				if p.Dist2(op) <= r2 {
-					ids = append(ids, e.id)
-					pos = append(pos, op)
+					if e.static {
+						// Static nodes never drift: the anchor is the
+						// exact position.
+						if d2 <= r2 {
+							ids = append(ids, e.id)
+							pos = append(pos, geom.Pt(e.x, e.y))
+						}
+						continue
+					}
+					op := w.truePosAt(ls, e.id, now)
+					if p.Dist2(op) <= r2 {
+						ids = append(ids, e.id)
+						pos = append(pos, op)
+					}
 				}
 			}
 		}
@@ -1090,7 +1182,7 @@ func (w *Network) unicastLS(ls *laneState, now des.Time, from, to NodeID, pkt *P
 		return false
 	}
 	w.account(ls, src, pkt)
-	if src.Radio.Lost(src.rng) {
+	if src.Radio.Lost(&src.rng) {
 		ls.lost++
 		if w.trOn {
 			w.tracer.Eventf(trace.Radio, float64(now), "LOST %s %d->%d", pkt.Kind, from, to)
@@ -1138,7 +1230,7 @@ func (w *Network) Broadcast(from NodeID, pkt *Packet) int {
 	sp := w.truePos(src)
 	t := w.allocTransmission()
 	for i, to := range nbrs {
-		if src.Radio.Lost(src.rng) {
+		if src.Radio.Lost(&src.rng) {
 			w.lost++
 			continue
 		}

@@ -311,3 +311,47 @@ func (m *linearMover) TrueFix(now float64) gps.Fix {
 func (m *linearMover) DriftBound() (speed, jump float64) {
 	return math.Hypot(m.v.DX, m.v.DY), 0
 }
+
+func TestSparseIndexOccupancy(t *testing.T) {
+	// A clustered population in a mega-arena must materialize only the
+	// index pages it stands on: allocated-tile memory tracks occupied
+	// area, not arena area.
+	sim := des.New()
+	net := New(sim, geom.RectWH(0, 0, 50000, 50000), xrand.New(42))
+	if len(net.tiles) < 256 {
+		t.Fatalf("arena too small to exercise sparsity: %d tiles", len(net.tiles))
+	}
+	// 60 nodes clustered in a 2x2 km corner patch.
+	rng := xrand.New(7)
+	for i := 0; i < 60; i++ {
+		addStatic(net, rng.Range(0, 2000), rng.Range(0, 2000))
+	}
+	occupied := 0
+	for _, tl := range net.tiles {
+		if tl != nil {
+			occupied++
+		}
+	}
+	if occupied == 0 {
+		t.Fatal("no tiles materialized for an occupied cluster")
+	}
+	// The 2 km patch spans at most 2 tiles per axis at the default cell
+	// size (a tile covers 8 cells >= 2.8 km); with grid padding and the
+	// boundary this stays far below even 1% of the directory.
+	if max := len(net.tiles) / 100; occupied > max {
+		t.Fatalf("occupancy %d tiles exceeds 1%% of the %d-tile directory: index is not sparse", occupied, len(net.tiles))
+	}
+	// Queries across tile boundaries still see every in-range neighbor.
+	a := addStatic(net, 2790, 2790) // last cell of tile (0,0) at cellSize 350
+	b := addStatic(net, 2810, 2810) // first cell of tile (1,1)
+	nbrs := net.Neighbors(a.ID)
+	found := false
+	for _, id := range nbrs {
+		if id == b.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cross-tile neighbor missing: %v", nbrs)
+	}
+}

@@ -28,7 +28,7 @@ func TestReconcileReleasesDeadRoutes(t *testing.T) {
 	// let the cluster layer notice.
 	victim := hard.Reserved[0]
 	node := w.Net.Node(victim)
-	if node.Cap.Utilization() == 0 {
+	if node.Capacity().Utilization() == 0 {
 		t.Fatal("victim holds no reservation before failure")
 	}
 	node.Fail()
@@ -39,8 +39,8 @@ func TestReconcileReleasesDeadRoutes(t *testing.T) {
 	if released < 2 {
 		t.Fatalf("Reconcile released %d reservations, want >= 2 (hard + soft held the dead CH)", released)
 	}
-	if node.Cap.Utilization() != 0 {
-		t.Fatalf("dead CH still holds %.2f of its capacity reserved", node.Cap.Utilization())
+	if node.Capacity().Utilization() != 0 {
+		t.Fatalf("dead CH still holds %.2f of its capacity reserved", node.Capacity().Utilization())
 	}
 	if len(hard.Reserved) >= hardBefore {
 		t.Fatalf("hard session kept %d reservations, had %d before the failure", len(hard.Reserved), hardBefore)
@@ -92,7 +92,7 @@ func TestReconcileReleasesDemotedCH(t *testing.T) {
 	if m.Reconcile() == 0 {
 		t.Fatal("Reconcile released nothing for the demoted CH")
 	}
-	if got := w.Net.Node(victim).Cap.Utilization(); got != 0 {
+	if got := w.Net.Node(victim).Capacity().Utilization(); got != 0 {
 		t.Fatalf("demoted CH still holds %.2f reserved", got)
 	}
 }

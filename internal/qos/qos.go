@@ -219,7 +219,7 @@ func (m *Manager) Open(src network.NodeID, g membership.Group, rate float64, mod
 	s := &Session{Group: g, Rate: rate, Mode: mode, Demanded: len(chs)}
 	for _, id := range chs {
 		node := m.bb.Net().Node(id)
-		if node != nil && node.Up() && node.Cap.Reserve(rate) {
+		if node != nil && node.Up() && node.Capacity().Reserve(rate) {
 			s.Reserved = append(s.Reserved, id)
 			continue
 		}
@@ -250,7 +250,7 @@ func (m *Manager) Close(id SessionID) {
 func (m *Manager) release(s *Session) {
 	for _, id := range s.Reserved {
 		if node := m.bb.Net().Node(id); node != nil {
-			node.Cap.Release(s.Rate)
+			node.Capacity().Release(s.Rate)
 		}
 	}
 	s.Reserved = nil
@@ -281,7 +281,7 @@ func (m *Manager) Reconcile() int {
 				continue
 			}
 			if node != nil {
-				node.Cap.Release(s.Rate)
+				node.Capacity().Release(s.Rate)
 			}
 			released++
 		}
@@ -313,7 +313,7 @@ func (m *Manager) Utilization() float64 {
 	total, count := 0.0, 0
 	for _, vc := range vcs {
 		if node := m.bb.Net().Node(heads[vc]); node != nil {
-			total += node.Cap.Utilization()
+			total += node.Capacity().Utilization()
 			count++
 		}
 	}
