@@ -9,6 +9,8 @@
 //	hvdbbench -list         # list experiment IDs
 //	hvdbbench -json         # scale benchmark -> BENCH_scale.json
 //	hvdbbench -perfsmoke    # N=1000/5000 points vs committed baseline (CI gate)
+//	hvdbbench -scalemem     # N=50000 wall-clock + peak-heap budgets (CI gate)
+//	hvdbbench -maxnodes 1000000 -json   # include the 1M point (nightly)
 //	hvdbbench -cpuprofile cpu.pprof -exp scale   # profile a run
 //
 // Independent runs inside each experiment (trials, sweep points,
@@ -30,8 +32,15 @@
 // committed shard-count variant of each — and compares them against the
 // committed BENCH_scale.json: a determinism drift (event count
 // mismatch, within a variant or across shard counts), an events/sec
-// regression beyond the tolerance, or an allocs/event count above the
-// ceiling fails the process, which is what the CI perf-smoke job runs.
+// regression beyond the tolerance, or an allocs/event or peak
+// bytes/node figure above its ceiling fails the process, which is what
+// the CI perf-smoke job runs.
+//
+// -scalemem runs the N=50000 mega-world once and enforces absolute
+// wall-clock and peak-heap-per-node budgets (the CI scale-mem job).
+// -maxnodes raises the sweep's population cap past the 100k default so
+// the nightly job can include the 1M point; populations ascend, so the
+// cap only ever adds or drops trailing rows.
 //
 // Unknown flags and stray positional arguments exit with status 2 and
 // usage, matching the hvdbsim/hvdbmap convention.
@@ -69,6 +78,26 @@ const (
 	perfSmokeTolerance   = 0.25
 	perfSmokeAllocsSlack = 1.5
 	perfSmokeAllocsEps   = 0.02
+	// Peak live heap per node is nearly deterministic but rides GC
+	// timing (the sampler sees whatever HeapAlloc happens to be at each
+	// barrier), so its ceiling gets the same multiplicative slack as
+	// allocations. Baselines recorded before the column existed carry 0
+	// and skip the check.
+	perfSmokeBytesSlack = 1.5
+)
+
+// The -scalemem gate: the N=50000 mega-world must finish its sweep
+// point inside a CI-feasible wall-clock budget and a per-node peak-heap
+// budget. The budgets carry 2x-plus headroom over measured figures on a
+// 1-CPU shared runner (~323 s wall, ~12.4 KB/node, with wall-clock
+// drifting up to ~40% on the hour scale); a breach means memory scaling
+// regressed structurally — memory growing with arena area instead of
+// occupancy, or retained per-packet state — not that the runner was
+// slow.
+const (
+	scaleMemNodes      = 50000
+	scaleMemWallBudget = 900.0   // seconds
+	scaleMemByteBudget = 25000.0 // peak heap bytes per node
 )
 
 func main() {
@@ -83,8 +112,10 @@ func main() {
 		list       = flag.Bool("list", false, "list experiments and exit")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonOut    = flag.Bool("json", false, "run the scale benchmark and write "+benchFile)
-		perfSmoke  = flag.Bool("perfsmoke", false, "re-measure the N=1000 and N=5000 scale points and fail on events/s or allocs/event regression against "+benchFile)
+		perfSmoke  = flag.Bool("perfsmoke", false, "re-measure the N=1000 and N=5000 scale points and fail on events/s, allocs/event, or bytes/node regression against "+benchFile)
+		scaleMem   = flag.Bool("scalemem", false, "run the N=50000 memory-scaling gate: wall-clock and peak-heap-per-node budgets (CI scale-mem job)")
 		shards     = flag.Int("shards", 1, "shard count for the scale-family worlds (1 = serial kernel); tables and event counts are identical at every setting")
+		maxNodes   = flag.Int("maxnodes", 0, "cap the scale sweep's population (0 = the 100k default); the nightly job raises it to 1000000 for the 1M point")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to `file`")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to `file`")
 	)
@@ -105,6 +136,11 @@ func main() {
 	}
 	if *shards < 1 {
 		fmt.Fprintf(os.Stderr, "hvdbbench: -shards must be at least 1 (got %d)\n", *shards)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *maxNodes < 0 {
+		fmt.Fprintf(os.Stderr, "hvdbbench: -maxnodes must be non-negative (got %d)\n", *maxNodes)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -153,6 +189,17 @@ func main() {
 	opts.Seed = *seed
 	opts.Workers = *parallel
 	opts.Shards = *shards
+	opts.MaxNodes = *maxNodes
+
+	if *scaleMem {
+		if *exp != "" || *csv || *jsonOut || *perfSmoke {
+			log.Fatal("-scalemem runs only the N=50000 memory gate; it cannot combine with -exp, -csv, -json, or -perfsmoke")
+		}
+		if err := runScaleMem(opts); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *perfSmoke {
 		if *exp != "" || *csv || *jsonOut {
@@ -241,6 +288,31 @@ func writeScaleBench(opts experiment.Options) {
 	fmt.Printf("wrote %s\n", benchFile)
 }
 
+// runScaleMem is the CI scale-mem gate: one full-size N=50000 sweep
+// point, measured like a -json run, checked against absolute wall-clock
+// and peak-heap-per-node budgets. Unlike -perfsmoke it needs no
+// committed baseline — the budgets are structural ceilings, chosen so
+// only a scaling regression (memory growing with arena instead of
+// occupancy, retained per-packet state) can breach them.
+func runScaleMem(opts experiment.Options) error {
+	opts.Scale = 1 // the gate always measures the real mega world
+	p, err := experiment.ScaleBenchN(opts, scaleMemNodes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("N=%d shards=%d total=%d events=%d wall=%.1fs (budget %.0fs) peak_heap=%.1f MB bytes/node=%.0f (budget %.0f) pdr %.1f%%\n",
+		p.Nodes, p.Shards, p.TotalNodes, p.Events, p.WallSeconds, scaleMemWallBudget,
+		float64(p.PeakHeapBytes)/(1<<20), p.BytesPerNode, scaleMemByteBudget, 100*p.DeliveryRatio)
+	if p.WallSeconds > scaleMemWallBudget {
+		return fmt.Errorf("wall-clock budget breached: %.1fs > %.0fs for the N=%d world", p.WallSeconds, scaleMemWallBudget, scaleMemNodes)
+	}
+	if p.BytesPerNode > scaleMemByteBudget {
+		return fmt.Errorf("memory budget breached: %.0f peak heap bytes/node > %.0f for the N=%d world", p.BytesPerNode, scaleMemByteBudget, scaleMemNodes)
+	}
+	fmt.Println("scale-mem OK")
+	return nil
+}
+
 // runPerfSmoke measures the perfSmokePoints sweep points and compares
 // each against the committed baseline. Per point, the event count must
 // match exactly (it is deterministic; a mismatch means the kernel
@@ -316,6 +388,10 @@ func smokeOnePoint(opts experiment.Options, doc *scaleBenchDoc, nodes int) error
 		if measured.AllocsPerEvent > allocCeiling {
 			return fmt.Errorf("allocation regression at shards=%d: %.3f allocs/event exceeds the %.3f ceiling (committed %.3f x%.1f + %.2f)",
 				shards, measured.AllocsPerEvent, allocCeiling, committed.AllocsPerEvent, perfSmokeAllocsSlack, perfSmokeAllocsEps)
+		}
+		if ceiling := committed.BytesPerNode * perfSmokeBytesSlack; committed.BytesPerNode > 0 && measured.BytesPerNode > ceiling {
+			return fmt.Errorf("memory regression at shards=%d: %.0f peak heap bytes/node exceeds the %.0f ceiling (committed %.0f x%.1f)",
+				shards, measured.BytesPerNode, ceiling, committed.BytesPerNode, perfSmokeBytesSlack)
 		}
 		events = append(events, measured.Events)
 	}

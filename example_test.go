@@ -51,6 +51,6 @@ func ExampleExperimentIDs() {
 	// f4    proactive local logical route maintenance (Fig. 4)
 	// f5    summary-based membership update (Fig. 5)
 	// f6    logical location-based multicast routing (Fig. 6)
-	// scale simulator scale sweep up to 10,000-node worlds
+	// scale simulator scale sweep up to 100,000-node worlds
 	// stress scripted stress scenarios: 6 protocol arms x 3 dynamic scripts
 }

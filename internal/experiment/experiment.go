@@ -28,6 +28,12 @@ type Options struct {
 	// clock — and a world that declines sharding is a hard error here,
 	// so a benchmark can never silently measure the serial path.
 	Shards int
+	// MaxNodes caps the population of the scale sweep; 0 means
+	// DefaultMaxNodes (100k). The sweep's node counts ascend, so the cap
+	// drops a suffix of points and never disturbs the positional seeds
+	// of the rest — raising it (the nightly 1M knob) adds rows without
+	// changing existing ones.
+	MaxNodes int
 }
 
 // DefaultOptions runs full-size experiments with the default seed.
@@ -56,7 +62,7 @@ var registry = map[string]struct {
 	"c4":     {ClaimDiameter, "claim: small diameter / few logical hops"},
 	"c5":     {ClaimComparison, "protocol comparison (PDR/delay/overhead)"},
 	"c6":     {ClaimChurn, "group dynamics: delivery under membership churn"},
-	"scale":  {Scale, "simulator scale sweep up to 10,000-node worlds"},
+	"scale":  {Scale, "simulator scale sweep up to 100,000-node worlds"},
 	"stress": {Stress, "scripted stress scenarios: 6 protocol arms x 3 dynamic scripts"},
 }
 

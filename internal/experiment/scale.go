@@ -23,19 +23,51 @@ import (
 // scaleConfig is one population of the scale sweep. Arena side grows
 // with the node count so spatial density stays near the paper's running
 // example (200 nodes on 2000 m); sides are multiples of one hypercube
-// block (4 VCs of 250 m) so the logical decomposition stays regular.
+// block (4 VCs) so the logical decomposition stays regular.
 type scaleConfig struct {
 	nodes int
 	arena float64
+	// cell overrides the VC tile side; 0 keeps the spec default (250 m).
+	// The mega worlds widen cells so the anchor backbone stays near the
+	// 56x56 grid of the 10k point instead of growing quadratically.
+	cell float64
 }
 
+// DefaultMaxNodes caps the scale sweep at the largest population the
+// standard CI environment is provisioned for. The 1M point runs only
+// when a caller raises Options.MaxNodes (the nightly job's -maxnodes
+// knob).
+const DefaultMaxNodes = 100000
+
 // scaleConfigs returns the sweep: the paper's population up to the 10k
-// target at full scale, two miniature worlds at quick scale.
+// target at full scale plus the mega-scale points up to o.MaxNodes, two
+// miniature worlds at quick scale. Node counts ascend, so the MaxNodes
+// cut always drops a suffix and every surviving config keeps its sweep
+// index — and with it its positional seed.
 func scaleConfigs(o Options) []scaleConfig {
-	if o.Scale >= 1 {
-		return []scaleConfig{{200, 2000}, {1000, 4000}, {5000, 10000}, {10000, 14000}}
+	if o.Scale < 1 {
+		return []scaleConfig{{nodes: 100, arena: 1500}, {nodes: 250, arena: 2250}}
 	}
-	return []scaleConfig{{100, 1500}, {250, 2250}}
+	all := []scaleConfig{
+		{nodes: 200, arena: 2000},
+		{nodes: 1000, arena: 4000},
+		{nodes: 5000, arena: 10000},
+		{nodes: 10000, arena: 14000},
+		// Mega worlds: constant ~51 nodes/km^2 density, constant 56x56
+		// VC backbone via wider cells (arena = 56 cells exactly).
+		{nodes: 50000, arena: 31360, cell: 560},
+		{nodes: 100000, arena: 44240, cell: 790},
+		{nodes: 1000000, arena: 140000, cell: 2500},
+	}
+	max := o.MaxNodes
+	if max <= 0 {
+		max = DefaultMaxNodes
+	}
+	n := len(all)
+	for n > 0 && all[n-1].nodes > max {
+		n--
+	}
+	return all[:n]
 }
 
 // scaleSpec builds the scenario of one sweep point: anchored CHs,
@@ -52,6 +84,9 @@ func scaleSpec(seed uint64, c scaleConfig, shards int) scenario.Spec {
 		spec.MembersPerGroup = 10
 	}
 	spec.Shards = shards
+	if c.cell > 0 {
+		spec.CellSize = c.cell
+	}
 	return spec
 }
 
@@ -77,18 +112,32 @@ type scaleResult struct {
 
 // runScaleWorld drives one population end to end. Everything it returns
 // is a pure function of (seed, config) — independent of shards, which
-// only changes how the same event sequence is scheduled onto cores — so
-// the sweep parallelizes with byte-identical tables at any worker or
-// shard count.
-func runScaleWorld(seed uint64, c scaleConfig, shards int) scaleResult {
+// only changes how the same event sequence is scheduled onto cores, and
+// of sample, which only changes how often the host observes the run —
+// so the sweep parallelizes with byte-identical tables at any worker or
+// shard count, sampled or not.
+//
+// A non-nil sample is invoked at ~1-simulated-second barriers (the
+// kernel contract makes chunked RunUntil event-identical to a single
+// call); benchScalePoint uses it to track peak heap.
+func runScaleWorld(seed uint64, c scaleConfig, shards int, sample func()) scaleResult {
 	w := must(scenario.Build(scaleSpec(seed, c, shards)))
 	if shards > 1 && w.Eng == nil {
 		panic(fmt.Sprintf("experiment: scale world declined shards=%d: %s", shards, w.ShardNote))
 	}
 	stk := must(w.Protocol("hvdb"))
 	stk.Start()
-	w.RunUntil(scaleWarm) // no traffic reset: ctrlPNS covers the whole run
-	m := stackTraffic(w, stk, membership.Group(0), scalePackets, scalePayload, scaleGap)
+	runSampled(w, scaleWarm, sample) // no traffic reset: ctrlPNS covers the whole run
+	m := newRunMetrics(w.Sim)
+	stk.Deliveries(m.observe)
+	src := w.RandomSource()
+	g := membership.Group(0)
+	w.CBR(func() uint64 {
+		uid := stk.Send(src, g, scalePayload)
+		m.expect(uid, len(w.Members[g]))
+		return uid
+	}, scaleGap, scalePackets)
+	runSampled(w, w.Sim.Now()+scaleGap*des.Duration(scalePackets)+5, sample)
 	stk.Stop()
 	return scaleResult{
 		total:    w.Net.Len(),
@@ -100,12 +149,31 @@ func runScaleWorld(seed uint64, c scaleConfig, shards int) scaleResult {
 	}
 }
 
+// runSampled advances the world to deadline, in ~1-simulated-second
+// chunks when a sampler is installed so the host can observe memory at
+// quiet barriers. The chunking itself is invisible to the simulation:
+// RunUntil(a); RunUntil(b) executes the identical event sequence as
+// RunUntil(b).
+func runSampled(w *scenario.World, deadline des.Time, sample func()) {
+	if sample == nil {
+		w.RunUntil(deadline)
+		return
+	}
+	const step = des.Duration(1)
+	for t := w.Sim.Now() + step; t < deadline; t += step {
+		w.RunUntil(t)
+		sample()
+	}
+	w.RunUntil(deadline)
+	sample()
+}
+
 // Scale regenerates the scale table: protocol behavior as the world
 // grows from the paper's population to 10,000 nodes.
 func Scale(o Options) []*Table {
 	configs := scaleConfigs(o)
 	rows := parSweep(o, configs, func(r runner.Run, c scaleConfig) []string {
-		res := runScaleWorld(r.Seed, c, o.Shards)
+		res := runScaleWorld(r.Seed, c, o.Shards, nil)
 		return []string{
 			I(c.nodes), I(res.total), I(int(c.arena)), I(res.clusters),
 			U(res.events), Pct(res.m.pdr()),
@@ -146,6 +214,12 @@ type ScalePoint struct {
 	EventsPerSec   float64 `json:"events_per_sec"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	BytesPerEvent  float64 `json:"bytes_per_event"`
+	// PeakHeapBytes is the highest live-heap growth over the pre-run
+	// baseline observed at ~1-simulated-second barriers (and at the end
+	// of the run); BytesPerNode divides it by the total node count. Both
+	// are host-side figures like WallSeconds, outside the table contract.
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	BytesPerNode  float64 `json:"bytes_per_node"`
 }
 
 // benchShardCounts is the shard axis of the BENCH_scale.json baseline:
@@ -210,8 +284,16 @@ func benchScalePoint(o Options, i int, c scaleConfig) ScalePoint {
 	runtime.GC()
 	var m0, m1 runtime.MemStats
 	runtime.ReadMemStats(&m0)
+	peak := m0.HeapAlloc
+	sample := func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if ms.HeapAlloc > peak {
+			peak = ms.HeapAlloc
+		}
+	}
 	start := time.Now() //hvdb:wallclock benchmark timing around a finished run; wall/events-per-second never feeds simulation state or the deterministic table columns
-	res := runScaleWorld(seed, c, shards)
+	res := runScaleWorld(seed, c, shards, sample)
 	wall := time.Since(start).Seconds() //hvdb:wallclock benchmark timing, pairs with the start stamp above
 	runtime.ReadMemStats(&m1)
 	p := ScalePoint{
@@ -231,6 +313,10 @@ func benchScalePoint(o Options, i int, c scaleConfig) ScalePoint {
 	if res.events > 0 {
 		p.AllocsPerEvent = float64(m1.Mallocs-m0.Mallocs) / float64(res.events)
 		p.BytesPerEvent = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(res.events)
+	}
+	p.PeakHeapBytes = peak - m0.HeapAlloc
+	if res.total > 0 {
+		p.BytesPerNode = float64(p.PeakHeapBytes) / float64(res.total)
 	}
 	return p
 }

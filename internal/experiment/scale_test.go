@@ -67,6 +67,30 @@ func TestScaleQuickTable(t *testing.T) {
 	}
 }
 
+// TestScaleConfigsMaxNodesSuffix pins the seed-stability contract of
+// the MaxNodes cap: capping the sweep only drops a suffix, so every
+// surviving population keeps its sweep index (and positional seed).
+func TestScaleConfigsMaxNodesSuffix(t *testing.T) {
+	full := scaleConfigs(Options{Scale: 1, MaxNodes: 1 << 30})
+	if n := len(full); n != 7 || full[n-1].nodes != 1000000 {
+		t.Fatalf("uncapped sweep = %+v, want 7 points up to 1M", full)
+	}
+	def := scaleConfigs(Options{Scale: 1})
+	if n := len(def); n != 6 || def[n-1].nodes != 100000 {
+		t.Fatalf("default sweep = %+v, want 6 points up to the %d cap", def, DefaultMaxNodes)
+	}
+	for i := range def {
+		if def[i] != full[i] {
+			t.Fatalf("capping reordered point %d: %+v vs %+v", i, def[i], full[i])
+		}
+	}
+	for i := 1; i < len(full); i++ {
+		if full[i].nodes <= full[i-1].nodes {
+			t.Fatalf("sweep populations not ascending at %d: the MaxNodes suffix cut relies on it", i)
+		}
+	}
+}
+
 // TestScaleBenchShape checks ScaleBench fills the performance fields
 // the BENCH_scale.json baseline publishes: one serial and one shards=4
 // point per population, with identical event counts inside each pair.
@@ -106,7 +130,7 @@ func TestScaleShardEventEquality(t *testing.T) {
 	}
 	var base fp
 	for i, k := range []int{1, 2, 4} {
-		res := runScaleWorld(1, cfg, k)
+		res := runScaleWorld(1, cfg, k, nil)
 		got := fp{events: res.events, pdr: res.m.pdr(), ctrl: res.ctrlPNS}
 		if i == 0 {
 			base = got
@@ -115,5 +139,16 @@ func TestScaleShardEventEquality(t *testing.T) {
 		if got != base {
 			t.Fatalf("shards=%d diverged: %+v vs serial %+v", k, got, base)
 		}
+	}
+	// The memory sampler chunks RunUntil at ~1 s barriers; the chunking
+	// must be invisible to the simulation.
+	calls := 0
+	res := runScaleWorld(1, cfg, 1, func() { calls++ })
+	got := fp{events: res.events, pdr: res.m.pdr(), ctrl: res.ctrlPNS}
+	if got != base {
+		t.Fatalf("sampled run diverged: %+v vs unsampled %+v", got, base)
+	}
+	if calls == 0 {
+		t.Fatal("sampler never invoked")
 	}
 }
