@@ -28,7 +28,13 @@ import (
 //     table rows render in loop order;
 //   - floating-point compound assignment to an outer variable: float
 //     addition is not associative, so even a "commutative" sum is
-//     order-observable in the last ulp.
+//     order-observable in the last ulp;
+//   - Add/Merge on an internal/stats accumulator (Sample, LogHist):
+//     both fold observations into a float sum behind the method call,
+//     so they are the same hidden float reduction — and for the
+//     retained-sample types the order is fully observable (percentiles
+//     interpolate in insertion order). LogHist bin counts merge
+//     commutatively, but its exact-mean sum does not.
 //
 // Integer counters, map/set writes, and per-iteration locals are not
 // sinks. A legitimately unordered site carries
@@ -131,6 +137,8 @@ func checkMapRange(pass *Pass, rs *ast.RangeStmt, encl *ast.BlockStmt) {
 				addSink(fmt.Sprintf("calls %s, entering the event/transmission order", name))
 			case emitSinks[name]:
 				addSink(fmt.Sprintf("emits output via %s", name))
+			case (name == "Add" || name == "Merge") && isStatsAccumCall(pass, v):
+				addSink(fmt.Sprintf("%s on a stats accumulator folds a float sum, order-sensitive in the last ulp", name))
 			}
 		case *ast.AssignStmt:
 			checkAssign(pass, v, rs, encl, loopVars, addSink)
@@ -243,6 +251,29 @@ func isSortCall(pass *Pass, call *ast.CallExpr) bool {
 		return true
 	}
 	return false
+}
+
+// isStatsAccumCall reports whether the call's receiver is a type from
+// the internal/stats package — the accumulators whose Add/Merge fold a
+// float sum. Matching by package rather than by type name keeps future
+// accumulators (digest types, histograms) covered automatically.
+func isStatsAccumCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/stats")
 }
 
 func isFloat(pass *Pass, e ast.Expr) bool {

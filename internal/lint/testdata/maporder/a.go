@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/stats"
 )
 
 // sim stands in for the DES scheduling and transmission surface.
@@ -133,4 +135,40 @@ func setBuild(in map[int]bool) map[int]bool {
 		out[k] = true
 	}
 	return out
+}
+
+// statsAccumInMapOrder folds map values into a stats accumulator: the
+// Add hides the same non-associative float sum as a bare += (and the
+// retained-sample percentiles additionally observe insertion order).
+func statsAccumInMapOrder(delays map[int]float64) float64 {
+	var s stats.Sample
+	for _, v := range delays { // want "Add on a stats accumulator"
+		s.Add(v)
+	}
+	return s.Mean()
+}
+
+// statsMergeInMapOrder merges per-key histograms in map order: bin
+// counts commute, but the exact-mean float sum does not associate.
+func statsMergeInMapOrder(parts map[int]*stats.LogHist) *stats.LogHist {
+	var whole stats.LogHist
+	for _, h := range parts { // want "Merge on a stats accumulator"
+		whole.Merge(h)
+	}
+	return &whole
+}
+
+// statsAccumSortedKeys is the sanctioned shape: fold in sorted key
+// order. The range is over the sorted slice, not the map: clean.
+func statsAccumSortedKeys(delays map[int]float64) float64 {
+	keys := make([]int, 0, len(delays))
+	for k := range delays {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var s stats.Sample
+	for _, k := range keys {
+		s.Add(delays[k])
+	}
+	return s.Mean()
 }
