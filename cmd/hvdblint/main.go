@@ -13,6 +13,7 @@
 //	hvdblint ./...
 //	hvdblint -suppressed ./internal/qos
 //	hvdblint -json ./... | jq '.[].file'
+//	hvdblint -analyzers shardsafe,poolpair -timing ./...
 package main
 
 import (
@@ -20,6 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
@@ -28,6 +32,9 @@ func main() {
 	var (
 		jsonOut    = flag.Bool("json", false, "emit diagnostics as a JSON array for tooling")
 		suppressed = flag.Bool("suppressed", false, "also list annotated (suppressed) sites with their reasons")
+		analyzers  = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		timing     = flag.Bool("timing", false, "print per-analyzer, load, and summary wall time to stderr")
+		budget     = flag.Duration("budget", 0, "fail (exit 1) if whole-run wall time — load + summaries + analyzers — exceeds this duration (0 disables)")
 		shards     = flag.Int("shards", 1, "accepted for flag parity with the simulation tools (CI drives all four CLIs with a shared flag set); static analysis is shard-count independent")
 	)
 	flag.Usage = func() {
@@ -44,19 +51,43 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	selected, err := selectAnalyzers(*analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hvdblint: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	dir, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hvdblint: %v\n", err)
 		os.Exit(2)
 	}
+	start := time.Now()
 	pkgs, err := lint.Load(dir, flag.Args()...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hvdblint: %v\n", err)
 		flag.Usage()
 		os.Exit(2)
 	}
-	res := lint.Analyze(pkgs)
+	loadTime := time.Since(start)
+	res := lint.Analyze(pkgs, selected...)
+	total := time.Since(start)
+
+	if *timing {
+		fmt.Fprintf(os.Stderr, "hvdblint: load %v (%d packages)\n", loadTime.Round(time.Millisecond), len(pkgs))
+		fmt.Fprintf(os.Stderr, "hvdblint: summaries %v (cache: %d hit, %d miss)\n",
+			res.Timing.Summary.Round(time.Millisecond), res.Timing.CacheHits, res.Timing.CacheMisses)
+		names := make([]string, 0, len(res.Timing.PerAnalyzer))
+		for name := range res.Timing.PerAnalyzer {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "hvdblint: analyzer %-12s %v\n", name, res.Timing.PerAnalyzer[name].Round(time.Millisecond))
+		}
+		fmt.Fprintf(os.Stderr, "hvdblint: total %v\n", total.Round(time.Millisecond))
+	}
 
 	out := res.Diags
 	if *suppressed {
@@ -81,8 +112,46 @@ func main() {
 			fmt.Println(d)
 		}
 	}
+	exit := 0
 	if len(res.Diags) > 0 {
 		fmt.Fprintf(os.Stderr, "hvdblint: %d unsuppressed diagnostic(s) in %d package(s)\n", len(res.Diags), len(pkgs))
-		os.Exit(1)
+		exit = 1
 	}
+	if *budget > 0 && total > *budget {
+		fmt.Fprintf(os.Stderr, "hvdblint: analysis took %v, over the %v budget (load %v, summaries %v)\n",
+			total.Round(time.Millisecond), *budget, loadTime.Round(time.Millisecond), res.Timing.Summary.Round(time.Millisecond))
+		exit = 1
+	}
+	os.Exit(exit)
+}
+
+// selectAnalyzers resolves the -analyzers CSV against the registered
+// suite; an unknown name is a usage error (exit 2 + the valid names in
+// usage output). An empty spec selects the full suite.
+func selectAnalyzers(spec string) ([]*lint.Analyzer, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	var valid []string
+	for _, a := range lint.Analyzers() {
+		byName[a.Name] = a
+		valid = append(valid, a.Name)
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (valid: %s)", name, strings.Join(valid, ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-analyzers selected nothing (valid: %s)", strings.Join(valid, ", "))
+	}
+	return out, nil
 }

@@ -36,10 +36,13 @@
 //   - PoolPair is a flow-insensitive lifecycle check for pooled
 //     acquires (network.AcquirePacket and any Acquire* method): within
 //     a function, every acquired value must reach a Release* call or a
-//     recognized handoff (returned, stored, or passed to another
-//     call that takes over the reference). The dynamic invariant
-//     PooledInFlight()==0 only fires at teardown; this catches the
-//     leak at the line that drops the reference.
+//     recognized handoff (returned, stored, or passed to another call
+//     that takes over the reference). Passing to a module-local callee
+//     counts as a handoff only if the callee's summary actually
+//     releases or re-hands-off that parameter; a summary that does
+//     neither turns the call site into the reported leak. The dynamic
+//     invariant PooledInFlight()==0 only fires at teardown; this
+//     catches the leak at the line that drops the reference.
 //
 //   - ShardSafe guards the sharded kernel's ownership discipline in
 //     the packages whose code runs on shard lanes (internal/des,
@@ -49,8 +52,27 @@
 //     package-level variables or fields of the shared hub types
 //     (Network, Router, Simulator, Sharded, Mux). Such writes race
 //     across lane workers and, even when atomically safe, make results
-//     depend on lane interleaving. Writes through the lane-state
-//     parameters themselves are the sanctioned path.
+//     depend on lane interleaving. The check is transitive over the
+//     module's static call graph: a hub write anywhere reachable from
+//     lane context is flagged at the write with the full call path in
+//     the diagnostic. Writes through the lane-state parameters
+//     themselves are the sanctioned path.
+//
+// # Interprocedural engine
+//
+// The analyzers above see through helper calls via a summary-based
+// bottom-up engine (callgraph.go, summary.go): one extraction pass
+// records per-function facts — hub writes, ordered sinks, per-param
+// release/handoff behavior, outgoing calls including closures handed
+// to the kernel's scheduling surface — then consume bits and lane
+// reachability propagate over the call graph's SCC condensation
+// (fixed point inside cycles). Unresolvable callees (other modules,
+// interface methods) degrade conservatively: they consume their
+// arguments and contribute no lane path. Facts serialize, so each
+// package's extraction is cached (keyed by a content hash; override
+// the location with HVDBLINT_CACHE) and warm runs skip straight to
+// propagation. MapOrder uses the same summaries to follow a loop body
+// one call deep into module-local helpers.
 //
 // # Suppression annotations
 //
@@ -66,16 +88,20 @@
 // The reason is mandatory: a bare annotation is itself a diagnostic,
 // so every exemption in the tree documents why it is safe. Annotations
 // are deliberately line-scoped — there is no file- or package-wide
-// opt-out — because the bug class is per-loop, not per-file.
+// opt-out — because the bug class is per-loop, not per-file. A
+// diagnostic reported through the call graph is additionally covered
+// by an annotation at any call site on its path, so one annotation on
+// a lane-entry edge can cover every write it proves serial.
 //
 // # Driver
 //
 // Load resolves package patterns with `go list` and type-checks them
 // from source (dependencies with bodies ignored), so the suite needs
 // no network and no external modules. Analyze runs analyzers over the
-// loaded packages and resolves suppressions. cmd/hvdblint is the CLI;
-// TestRepoLintClean in this package asserts zero unsuppressed
-// diagnostics over ./... on every `go test`, so the lint is enforced
-// even off-CI. See DESIGN.md "Determinism lint" for the sink model and
-// for how to add a new analyzer.
+// loaded packages and resolves suppressions. cmd/hvdblint is the CLI
+// (-analyzers selects a subset, -timing prints the phase breakdown,
+// -budget gates wall time); TestRepoLintClean in this package asserts
+// zero unsuppressed diagnostics over ./... on every `go test`, so the
+// lint is enforced even off-CI. See DESIGN.md "Determinism lint" for
+// the sink model and for how to add a new analyzer.
 package lint

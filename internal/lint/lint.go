@@ -7,6 +7,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer is one static check. It mirrors the golang.org/x/tools
@@ -33,6 +34,9 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	// Module is the propagated interprocedural state for the whole
+	// Load — call graph, consume bits, lane reachability.
+	Module *Module
 
 	diags []Diagnostic
 }
@@ -49,6 +53,24 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportSitef records a diagnostic at a serialized Site (interprocedural
+// facts carry positions as Sites, not token.Pos, so they survive the
+// summary cache). path renders into the diagnostic's CallPath; sites
+// are the call sites along it — a suppression annotation at any of
+// them (the lane-entry edge, an intermediate hop) covers the
+// diagnostic exactly as one at the reported position does.
+func (p *Pass) ReportSitef(site Site, path []string, sites []Site, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		File:     site.File,
+		Line:     site.Line,
+		Col:      site.Col,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		CallPath: RenderPath(path),
+		altSites: sites,
+	})
+}
+
 // A Diagnostic is one finding, positioned for editors (file:line:col).
 type Diagnostic struct {
 	File     string `json:"file"`
@@ -60,10 +82,22 @@ type Diagnostic struct {
 	// covers the line; Reason is the annotation's text.
 	Suppressed bool   `json:"suppressed,omitempty"`
 	Reason     string `json:"reason,omitempty"`
+	// CallPath renders the interprocedural route to the flagged site
+	// ("pkg.Root → pkg.helper → pkg.leaf") when an analyzer reported
+	// through the call graph.
+	CallPath string `json:"call_path,omitempty"`
+
+	// altSites are the call sites along CallPath; a suppression at any
+	// of them also covers this diagnostic.
+	altSites []Site
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	if d.CallPath != "" {
+		s += " [" + d.CallPath + "]"
+	}
+	return s
 }
 
 // A Result is the outcome of Analyze: Diags must be empty for the tree
@@ -76,6 +110,21 @@ type Result struct {
 	Diags []Diagnostic
 	// Suppressed are diagnostics covered by a reasoned annotation.
 	Suppressed []Diagnostic
+	// Timing breaks down where the wall time went (hvdblint -timing).
+	Timing Timing
+}
+
+// Timing is the per-phase wall-time breakdown of one Analyze call.
+type Timing struct {
+	// Summary is the interprocedural engine's build time (fact
+	// extraction or cache load, plus propagation).
+	Summary time.Duration
+	// PerAnalyzer aggregates each analyzer's Run time across packages.
+	PerAnalyzer map[string]time.Duration
+	// CacheHits / CacheMisses count packages whose facts came from the
+	// summary cache vs. fresh extraction.
+	CacheHits   int
+	CacheMisses int
 }
 
 // Analyzers returns the full determinism suite in stable order.
@@ -126,23 +175,47 @@ func parseSuppressions(fset *token.FileSet, f *ast.File) []*suppression {
 }
 
 // Analyze runs the analyzers over the packages and resolves
-// suppression annotations. A suppression at line L covers matching
-// diagnostics at line L (trailing comment) and line L+1 (comment alone
-// above the flagged statement).
+// suppression annotations. Suppressions are collected module-wide
+// before any analyzer runs: an interprocedural diagnostic reported in
+// one package can be covered by an annotation on a call site in
+// another (the lane-entry edge). A suppression at line L covers
+// matching diagnostics at line L (trailing comment) and line L+1
+// (comment alone above the flagged statement), at either the reported
+// position or any call site on the diagnostic's path.
 func Analyze(pkgs []*Package, analyzers ...*Analyzer) *Result {
 	if len(analyzers) == 0 {
 		analyzers = Analyzers()
 	}
-	res := &Result{}
+	res := &Result{Timing: Timing{PerAnalyzer: map[string]time.Duration{}}}
+	// keys are the suppression keys whose usage this run can audit (the
+	// selected analyzers); allKeys is the full registry — an annotation
+	// for a non-selected analyzer is legitimate, just not auditable in
+	// a subset run.
+	keys := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		keys[a.SuppressKey] = true
+	}
+	allKeys := map[string]bool{}
+	for _, a := range Analyzers() {
+		allKeys[a.SuppressKey] = true
+	}
+	var sups []*suppression
+	fsetOf := map[*suppression]*token.FileSet{}
 	for _, pkg := range pkgs {
-		var sups []*suppression
-		keys := make(map[string]bool, len(analyzers))
-		for _, a := range analyzers {
-			keys[a.SuppressKey] = true
-		}
 		for _, f := range pkg.Files {
-			sups = append(sups, parseSuppressions(pkg.Fset, f)...)
+			for _, s := range parseSuppressions(pkg.Fset, f) {
+				sups = append(sups, s)
+				fsetOf[s] = pkg.Fset
+			}
 		}
+	}
+
+	module := BuildModule(pkgs)
+	res.Timing.Summary = module.BuildTime
+	res.Timing.CacheHits = module.CacheHits
+	res.Timing.CacheMisses = module.CacheMiss
+
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -150,8 +223,11 @@ func Analyze(pkgs []*Package, analyzers ...*Analyzer) *Result {
 				Files:    pkg.Files,
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
+				Module:   module,
 			}
+			start := time.Now()
 			a.Run(pass)
+			res.Timing.PerAnalyzer[a.Name] += time.Since(start)
 			for _, d := range pass.diags {
 				if s := matchSuppression(sups, a.SuppressKey, d); s != nil && s.reason != "" {
 					d.Suppressed, d.Reason = true, s.reason
@@ -162,30 +238,34 @@ func Analyze(pkgs []*Package, analyzers ...*Analyzer) *Result {
 				res.Diags = append(res.Diags, d)
 			}
 		}
-		// Annotation policy: every annotation carries a reason, and
-		// unknown keys are typos, not silent no-ops.
-		for _, s := range sups {
-			pos := pkg.Fset.Position(s.pos)
-			switch {
-			case !keys[s.key]:
-				res.Diags = append(res.Diags, Diagnostic{
-					File: pos.Filename, Line: pos.Line, Col: pos.Column,
-					Analyzer: "annotation",
-					Message:  fmt.Sprintf("unknown suppression key %q (known: unordered, wallclock, handoff, serialonly)", s.key),
-				})
-			case s.reason == "":
-				res.Diags = append(res.Diags, Diagnostic{
-					File: pos.Filename, Line: pos.Line, Col: pos.Column,
-					Analyzer: "annotation",
-					Message:  fmt.Sprintf("//hvdb:%s needs a reason: every exemption documents why the site is safe", s.key),
-				})
-			case !s.used:
-				res.Diags = append(res.Diags, Diagnostic{
-					File: pos.Filename, Line: pos.Line, Col: pos.Column,
-					Analyzer: "annotation",
-					Message:  fmt.Sprintf("//hvdb:%s suppresses nothing here; the site is clean, drop the stale annotation", s.key),
-				})
-			}
+	}
+	// Annotation policy: every annotation carries a reason, and
+	// unknown keys are typos, not silent no-ops.
+	for _, s := range sups {
+		pos := fsetOf[s].Position(s.pos)
+		switch {
+		case !allKeys[s.key]:
+			res.Diags = append(res.Diags, Diagnostic{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: "annotation",
+				Message:  fmt.Sprintf("unknown suppression key %q (known: unordered, wallclock, handoff, serialonly)", s.key),
+			})
+		case !keys[s.key]:
+			// Belongs to an analyzer this run didn't select: usage
+			// cannot be audited, so neither reason nor staleness is
+			// checked here.
+		case s.reason == "":
+			res.Diags = append(res.Diags, Diagnostic{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: "annotation",
+				Message:  fmt.Sprintf("//hvdb:%s needs a reason: every exemption documents why the site is safe", s.key),
+			})
+		case !s.used:
+			res.Diags = append(res.Diags, Diagnostic{
+				File: pos.Filename, Line: pos.Line, Col: pos.Column,
+				Analyzer: "annotation",
+				Message:  fmt.Sprintf("//hvdb:%s suppresses nothing here; the site is clean, drop the stale annotation", s.key),
+			})
 		}
 	}
 	sortDiags(res.Diags)
@@ -194,9 +274,17 @@ func Analyze(pkgs []*Package, analyzers ...*Analyzer) *Result {
 }
 
 func matchSuppression(sups []*suppression, key string, d Diagnostic) *suppression {
+	covers := func(s *suppression, file string, line int) bool {
+		return s.key == key && s.file == file && (s.line == line || s.line == line-1)
+	}
 	for _, s := range sups {
-		if s.key == key && s.file == d.File && (s.line == d.Line || s.line == d.Line-1) {
+		if covers(s, d.File, d.Line) {
 			return s
+		}
+		for _, alt := range d.altSites {
+			if alt.valid() && covers(s, alt.File, alt.Line) {
+				return s
+			}
 		}
 	}
 	return nil

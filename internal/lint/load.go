@@ -37,15 +37,23 @@ type Package struct {
 // A pattern that matches nothing or names an unknown package is an
 // error (the CLI turns it into exit 2 + usage).
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	return LoadWithTags(dir, nil, patterns...)
+}
+
+// LoadWithTags is Load with build tags applied to file selection, both
+// in `go list` and in dependency resolution. The faultseed self-tests
+// use it to analyze the deliberately buggy -tags faultseed variants
+// that plain loads never see.
+func LoadWithTags(dir string, tags []string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	metas, err := goList(dir, patterns)
+	metas, err := goList(dir, tags, patterns)
 	if err != nil {
 		return nil, err
 	}
 	fset := token.NewFileSet()
-	imp := newImporter(fset)
+	imp := newImporter(fset, tags)
 	var pkgs []*Package
 	for _, m := range metas {
 		if len(m.GoFiles) == 0 {
@@ -90,8 +98,12 @@ type listMeta struct {
 	GoFiles    []string
 }
 
-func goList(dir string, patterns []string) ([]listMeta, error) {
-	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles"}, patterns...)
+func goList(dir string, tags, patterns []string) ([]listMeta, error) {
+	args := []string{"list", "-json=ImportPath,Dir,Name,GoFiles"}
+	if len(tags) > 0 {
+		args = append(args, "-tags", strings.Join(tags, ","))
+	}
+	args = append(args, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
@@ -125,12 +137,13 @@ type importer struct {
 	pkgs map[string]*types.Package
 }
 
-func newImporter(fset *token.FileSet) *importer {
+func newImporter(fset *token.FileSet, tags []string) *importer {
 	ctxt := build.Default
 	// Pure-Go file sets only: with cgo enabled go/build would select
 	// cgo variants of net/os/user whose Go files don't type-check
 	// standalone. The repository itself is cgo-free.
 	ctxt.CgoEnabled = false
+	ctxt.BuildTags = append(ctxt.BuildTags, tags...)
 	return &importer{fset: fset, ctxt: ctxt, pkgs: map[string]*types.Package{}}
 }
 

@@ -37,8 +37,12 @@ import (
 //     commutatively, but its exact-mean sum does not.
 //
 // Integer counters, map/set writes, and per-iteration locals are not
-// sinks. A legitimately unordered site carries
-// `//hvdb:unordered <reason>` on the `for` line or the line above.
+// sinks. Since PR 10 the check also follows the loop element one call
+// deep: passing it to a module-local helper whose summary records a
+// direct ordered sink (a Schedule wrapper, an emit helper, a stats
+// fold) is the same escape, reported with the helper named. A
+// legitimately unordered site carries `//hvdb:unordered <reason>` on
+// the `for` line or the line above.
 var MapOrder = &Analyzer{
 	Name:        "maporder",
 	SuppressKey: "unordered",
@@ -139,6 +143,22 @@ func checkMapRange(pass *Pass, rs *ast.RangeStmt, encl *ast.BlockStmt) {
 				addSink(fmt.Sprintf("emits output via %s", name))
 			case (name == "Add" || name == "Merge") && isStatsAccumCall(pass, v):
 				addSink(fmt.Sprintf("%s on a stats accumulator folds a float sum, order-sensitive in the last ulp", name))
+			default:
+				// One level through a module-local helper: if the loop
+				// element flows into a callee whose summary records
+				// direct ordered sinks, the effect escapes just the same.
+				if pass.Module == nil || !mentionsAny(pass, v, loopVars) {
+					break
+				}
+				callee := resolveCallee(pass.Info, v)
+				if callee == nil || !moduleLocal(pass.Pkg.Path(), callee) {
+					break
+				}
+				if fi := pass.Module.Func(funcIDOf(callee)); fi != nil {
+					for _, s := range fi.Sinks {
+						addSink(fmt.Sprintf("calls %s, which %s", fi.Name, s))
+					}
+				}
 			}
 		case *ast.AssignStmt:
 			checkAssign(pass, v, rs, encl, loopVars, addSink)
@@ -258,22 +278,7 @@ func isSortCall(pass *Pass, call *ast.CallExpr) bool {
 // float sum. Matching by package rather than by type name keeps future
 // accumulators (digest types, histograms) covered automatically.
 func isStatsAccumCall(pass *Pass, call *ast.CallExpr) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	t := pass.Info.TypeOf(sel.X)
-	if t == nil {
-		return false
-	}
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil {
-		return false
-	}
-	return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/stats")
+	return isStatsAccumCallInfo(pass.Info, call)
 }
 
 func isFloat(pass *Pass, e ast.Expr) bool {

@@ -1,7 +1,9 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -21,6 +23,16 @@ import (
 // Reads (p.Dst, p.Size()) keep the reference local. A function whose
 // acquired value is neither released nor handed off definitely leaks
 // one pool reference per call.
+//
+// Since PR 10, passing the value to a *module-local* call is a handoff
+// only when the callee's propagated summary actually releases or
+// re-hands-off that parameter; a call whose summary does neither is
+// refuted, and if no other use consumes the reference the leak is
+// reported at that call site — the line where the reference dies.
+// Values scheduled into callbacks through the ScheduleCall* family are
+// traced into the callback's first parameter the same way. Calls into
+// other modules, dynamic calls, and variadic tails stay conservative
+// handoffs, exactly the old behavior.
 //
 // Deliberate leak-or-transfer sites the analyzer cannot see through
 // carry `//hvdb:handoff <reason>`.
@@ -96,8 +108,20 @@ func poolPairFunc(pass *Pass, body *ast.BlockStmt) {
 		return
 	}
 
-	// Pass 2: classify every other use of each acquired variable.
-	type fate struct{ released, handedOff bool }
+	// Pass 2: classify every other use of each acquired variable. A
+	// call argument consults the callee's propagated summary when one
+	// exists: a callee that neither releases nor hands off the
+	// parameter refutes the handoff instead of absorbing the
+	// reference.
+	type refutation struct {
+		pos    token.Pos
+		callee string
+		param  string
+	}
+	type fate struct {
+		released, handedOff bool
+		refuted             []refutation
+	}
 	fates := map[types.Object]*fate{}
 	for obj := range acquired {
 		fates[obj] = &fate{}
@@ -120,13 +144,50 @@ func poolPairFunc(pass *Pass, body *ast.BlockStmt) {
 		}
 		switch parent := parentOf(stack).(type) {
 		case *ast.CallExpr:
-			for _, arg := range parent.Args {
-				if arg == ast.Expr(id) {
-					if strings.HasPrefix(calleeName(parent), "Release") {
-						f.released = true
-					} else {
+			name := calleeName(parent)
+			for argPos, arg := range parent.Args {
+				if arg != ast.Expr(id) {
+					continue
+				}
+				if strings.HasPrefix(name, "Release") {
+					f.released = true
+					continue
+				}
+				if sched, ok := scheduleArgFuncs[name]; ok && argPos == sched.argIdx {
+					// Scheduled into a callback: the reference reaches the
+					// callback's first parameter.
+					target := callbackFuncID(pass.Pkg.Path(), pass.Fset, pass.Info, parent.Args[sched.fnIdx])
+					if target == "" || pass.Module == nil || pass.Module.Func(target) == nil {
+						f.handedOff = true // dynamic callback: conservative
+					} else if pass.Module.Consumes(target, 0) {
 						f.handedOff = true
+					} else {
+						f.refuted = append(f.refuted, refutation{
+							pos: parent.Pos(), callee: pass.Module.Func(target).Name, param: paramDisplayName(pass.Module.Func(target), 0),
+						})
 					}
+					continue
+				}
+				callee := resolveCallee(pass.Info, parent)
+				if callee == nil || pass.Module == nil || !moduleLocal(pass.Pkg.Path(), callee) {
+					f.handedOff = true // dynamic or extra-module call: conservative
+					continue
+				}
+				sig, _ := callee.Type().(*types.Signature)
+				if sig == nil || argPos >= sig.Params().Len() || (sig.Variadic() && argPos >= sig.Params().Len()-1) {
+					f.handedOff = true // variadic tail: position not summarizable
+					continue
+				}
+				cid := funcIDOf(callee)
+				fi := pass.Module.Func(cid)
+				if fi == nil {
+					f.handedOff = true // no facts (body elsewhere): conservative
+					continue
+				}
+				if pass.Module.Consumes(cid, argPos) {
+					f.handedOff = true
+				} else {
+					f.refuted = append(f.refuted, refutation{pos: parent.Pos(), callee: fi.Name, param: paramDisplayName(fi, argPos)})
 				}
 			}
 		case *ast.ReturnStmt, *ast.CompositeLit, *ast.KeyValueExpr, *ast.SendStmt:
@@ -145,13 +206,31 @@ func poolPairFunc(pass *Pass, body *ast.BlockStmt) {
 		return true
 	})
 	for obj, f := range fates {
-		if !f.released && !f.handedOff {
-			call := acquired[obj]
-			pass.Reportf(call.Pos(),
-				"%s acquired into %s but never Release*d or handed off in this function (PooledInFlight would only catch this at teardown); annotate //hvdb:handoff <reason> if ownership transfers invisibly",
-				calleeName(call), obj.Name())
+		if f.released || f.handedOff {
+			continue
 		}
+		call := acquired[obj]
+		if len(f.refuted) > 0 {
+			// The reference's only exits were calls whose summaries
+			// refuse ownership: the leak happens at the first such call.
+			r := f.refuted[0]
+			pass.Reportf(r.pos,
+				"%s passes pooled %s to %s, whose summary neither Release*s nor hands off %s — the reference dies in the callee; release here or annotate //hvdb:handoff <reason>",
+				calleeName(call), obj.Name(), r.callee, r.param)
+			continue
+		}
+		pass.Reportf(call.Pos(),
+			"%s acquired into %s but never Release*d or handed off in this function (PooledInFlight would only catch this at teardown); annotate //hvdb:handoff <reason> if ownership transfers invisibly",
+			calleeName(call), obj.Name())
 	}
+}
+
+// paramDisplayName renders a callee parameter for diagnostics.
+func paramDisplayName(fi *FuncInfo, i int) string {
+	if i < len(fi.Params) && fi.Params[i].Name != "" {
+		return "parameter " + fi.Params[i].Name
+	}
+	return fmt.Sprintf("parameter %d", i)
 }
 
 func parentOf(stack []ast.Node) ast.Node {

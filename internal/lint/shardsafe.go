@@ -1,8 +1,11 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
+	"sort"
+	"strings"
 )
 
 // ShardSafe guards the sharded kernel's isolation discipline: code that
@@ -28,6 +31,18 @@ import (
 // channels. A flagged write that is provably reached only in serial
 // context (a consume path the network pins to the global lane, say)
 // carries `//hvdb:serialonly <reason>` citing the argument.
+//
+// Since PR 10 the check is interprocedural: a hub/global write is
+// flagged when its function is *transitively reachable* from lane
+// context over the module call graph (lane roots, plus closures and
+// named functions handed to ScheduleLaneDirect / LogIntent), and the
+// diagnostic carries the shortest call path from the lane root to the
+// write. The //hvdb:serialonly annotation is honored at the write site
+// itself or at any call site along that path — annotating the
+// lane-entry edge exempts everything it guards. Deferred serial
+// callbacks (the ScheduleCall* family) and the des kernel's own
+// internals are not traversed: the former leave lane context by
+// construction, the latter is the trusted runtime.
 //
 // Only the packages that participate in sharding are checked; the rest
 // of the tree never runs inside a window.
@@ -74,65 +89,43 @@ var laneScheduleFuncs = map[string]bool{
 }
 
 func runShardSafe(pass *Pass) {
-	if !shardPackages[pass.Pkg.Path()] {
+	if !shardPackages[pass.Pkg.Path()] || pass.Module == nil {
 		return
 	}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if laneFunc(pass, fd) {
-				checkLaneBody(pass, fd.Body, laneParams(pass, fd))
+	m := pass.Module
+	ids := make([]FuncID, 0, len(m.Funcs))
+	for id, fi := range m.Funcs {
+		if fi.Pkg == pass.Pkg.Path() && len(fi.HubWrites) > 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if !m.LaneReachable(id) {
+			continue
+		}
+		names, sites := m.LanePath(id)
+		for _, w := range m.Funcs[id].HubWrites {
+			if len(sites) == 0 {
+				// The write sits in a lane root itself: the classic
+				// intraprocedural finding, reported without a path.
+				pass.ReportSitef(w.Site, nil, nil, "%s", directHubWriteMessage(w))
 			} else {
-				// Serial functions may still hand literals to a lane.
-				findLaneLiterals(pass, fd.Body)
+				pass.ReportSitef(w.Site, names, sites,
+					"lane-reachable helper writes %s; cross-shard shared state must flow through the lane state or a barrier helper (annotate //hvdb:serialonly <reason> at the write or any call site on the path if it never runs inside a window)",
+					w.What)
 			}
 		}
 	}
 }
 
-// laneFunc reports whether a declaration's receiver or parameters
-// include a lane-state type.
-func laneFunc(pass *Pass, fd *ast.FuncDecl) bool {
-	if fd.Recv != nil {
-		for _, field := range fd.Recv.List {
-			if isLaneStateType(pass.Info.TypeOf(field.Type)) {
-				return true
-			}
-		}
+// directHubWriteMessage renders the original intraprocedural wording
+// for a write inside a lane function proper.
+func directHubWriteMessage(w HubWrite) string {
+	if strings.HasPrefix(w.What, "package-level ") {
+		return fmt.Sprintf("lane context writes %s; cross-shard shared state must flow through the lane state or a barrier helper (annotate //hvdb:serialonly <reason> if this path never runs inside a window)", w.What)
 	}
-	for _, field := range fd.Type.Params.List {
-		if isLaneStateType(pass.Info.TypeOf(field.Type)) {
-			return true
-		}
-	}
-	return false
-}
-
-// laneParams collects the lane-state parameter objects of a lane
-// function: writes rooted at these are the sanctioned channel.
-func laneParams(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
-	out := map[types.Object]bool{}
-	collect := func(list *ast.FieldList) {
-		if list == nil {
-			return
-		}
-		for _, field := range list.List {
-			if !isLaneStateType(pass.Info.TypeOf(field.Type)) {
-				continue
-			}
-			for _, name := range field.Names {
-				if obj := pass.Info.ObjectOf(name); obj != nil {
-					out[obj] = true
-				}
-			}
-		}
-	}
-	collect(fd.Recv)
-	collect(fd.Type.Params)
-	return out
+	return fmt.Sprintf("lane context writes %s; confine the mutation to the lane state or log an intent for the barrier (annotate //hvdb:serialonly <reason> if this path never runs inside a window)", w.What)
 }
 
 // isLaneStateType matches *T (or T) for a lane-state type name.
@@ -150,63 +143,6 @@ func namedTypeIn(t types.Type, names map[string]bool) bool {
 	}
 	n, ok := t.(*types.Named)
 	return ok && names[n.Obj().Name()]
-}
-
-// findLaneLiterals scans a serial function for closures scheduled onto
-// lanes and checks their bodies as lane context.
-func findLaneLiterals(pass *Pass, body *ast.BlockStmt) {
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok || !laneScheduleFuncs[calleeName(call)] {
-			return true
-		}
-		for _, arg := range call.Args {
-			if lit, ok := arg.(*ast.FuncLit); ok {
-				checkLaneBody(pass, lit.Body, nil)
-			}
-		}
-		return true
-	})
-}
-
-// checkLaneBody flags shared-state writes inside lane context. allowed
-// holds the lane-state parameter objects writes may root at.
-func checkLaneBody(pass *Pass, body *ast.BlockStmt, allowed map[types.Object]bool) {
-	report := func(expr ast.Expr) {
-		id := rootIdent(expr)
-		if id == nil {
-			return
-		}
-		obj := pass.Info.ObjectOf(id)
-		if obj == nil || allowed[obj] {
-			return
-		}
-		v, isVar := obj.(*types.Var)
-		if !isVar {
-			return
-		}
-		switch {
-		case v.Parent() == pass.Pkg.Scope():
-			pass.Reportf(expr.Pos(),
-				"lane context writes package-level %s; cross-shard shared state must flow through the lane state or a barrier helper (annotate //hvdb:serialonly <reason> if this path never runs inside a window)",
-				id.Name)
-		case expr != ast.Expr(id) && isHubType(v.Type()):
-			pass.Reportf(expr.Pos(),
-				"lane context writes shared %s state through %s; confine the mutation to the lane state or log an intent for the barrier (annotate //hvdb:serialonly <reason> if this path never runs inside a window)",
-				typeName(v.Type()), id.Name)
-		}
-	}
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch st := n.(type) {
-		case *ast.AssignStmt:
-			for _, lhs := range st.Lhs {
-				report(lhs)
-			}
-		case *ast.IncDecStmt:
-			report(st.X)
-		}
-		return true
-	})
 }
 
 // rootIdent unwraps a selector/index/deref chain to its base

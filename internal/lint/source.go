@@ -65,7 +65,7 @@ func checkFiles(importPath, srcDir string, fset *token.FileSet, files []*ast.Fil
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	conf := types.Config{Importer: importerFrom{newImporter(fset), srcDir}}
+	conf := types.Config{Importer: importerFrom{newImporter(fset, nil), srcDir}}
 	tpkg, err := conf.Check(importPath, fset, files, info)
 	if err != nil {
 		return nil, err

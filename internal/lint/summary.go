@@ -1,0 +1,349 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// summary.go turns the per-function facts of callgraph.go into the
+// propagated summaries the analyzers consume:
+//
+//   - consume bits: a parameter is *consumed* (released or handed off)
+//     either directly or transitively through the callees it is passed
+//     to, computed bottom-up over the SCC condensation with a fixed
+//     point inside each cycle;
+//   - lane reachability: every function reachable from a lane root
+//     (without crossing a Deferred edge or descending into the des
+//     kernel) carries a deterministic shortest call path back to its
+//     root, which shardsafe renders into diagnostics.
+//
+// Extraction facts — everything callgraph.go records, nothing derived —
+// are cached per package as JSON keyed by a content hash of the
+// package's sources plus the engine version. Propagation is cheap
+// (linear in edges) and always re-runs, so a stale mix of cached and
+// fresh packages can never produce stale *derived* state.
+
+// summaryEngineVersion participates in the cache key; bump it whenever
+// extraction semantics change so old fact files are ignored.
+const summaryEngineVersion = "hvdblint-summary-v1"
+
+// summaryCacheDir overrides the cache location; empty means
+// $HVDBLINT_CACHE or the user cache dir. Tests point it at t.TempDir().
+var summaryCacheDir = ""
+
+// A Module holds the propagated interprocedural state for one Load.
+type Module struct {
+	Funcs map[FuncID]*FuncInfo
+
+	// consumed[id][i]: parameter i of id is transitively released or
+	// handed off on at least one path.
+	consumed map[FuncID][]bool
+	// released[id][i]: parameter i of id is transitively *released*
+	// (strictly stronger than consumed; poolpair distinguishes the two
+	// in messages).
+	released map[FuncID][]bool
+
+	// laneVia[id]: the predecessor edge on a shortest path from a lane
+	// root; laneRoot[id] is true for the roots themselves.
+	laneVia  map[FuncID]laneStep
+	laneRoot map[FuncID]bool
+
+	// Timing and cache accounting, surfaced by hvdblint -timing.
+	BuildTime  time.Duration
+	CacheHits  int
+	CacheMiss  int
+	CachedFrom string // resolved cache directory ("" if disabled)
+}
+
+type laneStep struct {
+	from FuncID
+	site Site
+}
+
+// BuildModule extracts (or loads cached) facts for every package and
+// runs propagation. It never fails the analysis: cache errors degrade
+// to re-extraction, and packages are assumed type-checked by Load.
+func BuildModule(pkgs []*Package) *Module {
+	start := time.Now()
+	m := &Module{Funcs: map[FuncID]*FuncInfo{}}
+	dir := resolveCacheDir()
+	m.CachedFrom = dir
+	for _, pkg := range pkgs {
+		var funcs []*FuncInfo
+		key := ""
+		if dir != "" {
+			key = packageCacheKey(pkg)
+			if cached, ok := readFactCache(dir, key); ok {
+				funcs = cached
+				m.CacheHits++
+			}
+		}
+		if funcs == nil {
+			funcs = extractPackage(pkg)
+			m.CacheMiss++
+			if dir != "" && key != "" {
+				writeFactCache(dir, key, funcs)
+			}
+		}
+		for _, fi := range funcs {
+			m.Funcs[fi.ID] = fi
+		}
+	}
+	m.propagateConsume()
+	m.propagateLane()
+	m.BuildTime = time.Since(start)
+	return m
+}
+
+// --- propagation ------------------------------------------------------
+
+// propagateConsume computes the transitive released/consumed bits
+// bottom-up over the condensation; within an SCC the member functions
+// iterate to a fixed point (bits only ever turn on, so termination is
+// immediate: at most params×members flips).
+func (m *Module) propagateConsume() {
+	m.consumed = map[FuncID][]bool{}
+	m.released = map[FuncID][]bool{}
+	for id, fi := range m.Funcs {
+		c := make([]bool, len(fi.Params))
+		r := make([]bool, len(fi.Params))
+		for i, p := range fi.Params {
+			r[i] = p.Released
+			c[i] = p.Released || p.HandedOff
+		}
+		m.consumed[id] = c
+		m.released[id] = r
+	}
+	apply := func(id FuncID) bool {
+		changed := false
+		fi := m.Funcs[id]
+		for i, p := range fi.Params {
+			for _, pass := range p.PassedTo {
+				cc, ok := m.consumed[pass.Callee]
+				if !ok || pass.Param >= len(cc) {
+					// Unknown callee or position: conservative handoff.
+					if !m.consumed[id][i] {
+						m.consumed[id][i] = true
+						changed = true
+					}
+					continue
+				}
+				if cc[pass.Param] && !m.consumed[id][i] {
+					m.consumed[id][i] = true
+					changed = true
+				}
+				if rr := m.released[pass.Callee]; pass.Param < len(rr) && rr[pass.Param] && !m.released[id][i] {
+					m.released[id][i] = true
+					changed = true
+				}
+			}
+		}
+		return changed
+	}
+	for _, scc := range condense(m.Funcs) {
+		for changed := true; changed; {
+			changed = false
+			for _, id := range scc {
+				if apply(id) {
+					changed = true
+				}
+			}
+			if len(scc) == 1 {
+				break // no cycle: one pass suffices
+			}
+		}
+	}
+}
+
+// propagateLane runs a BFS from every lane root simultaneously,
+// recording for each reached function the predecessor edge of a
+// shortest path. Roots are visited in sorted order and successors in
+// recorded (source) order, so the chosen path is deterministic.
+// Deferred edges (serial ScheduleCall* callbacks) and the des kernel
+// are not traversed.
+func (m *Module) propagateLane() {
+	m.laneVia = map[FuncID]laneStep{}
+	m.laneRoot = map[FuncID]bool{}
+	var queue []FuncID
+	ids := make([]FuncID, 0, len(m.Funcs))
+	for id := range m.Funcs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if m.Funcs[id].LaneRoot {
+			m.laneRoot[id] = true
+			queue = append(queue, id)
+		}
+	}
+	// Lane-entry edges (fn handed to ScheduleLaneDirect/LogIntent) make
+	// their targets roots too, even when the caller is serial.
+	for _, id := range ids {
+		for _, c := range m.Funcs[id].Calls {
+			if c.Lane && !m.laneRoot[c.Callee] {
+				if _, ok := m.Funcs[c.Callee]; ok {
+					m.laneRoot[c.Callee] = true
+					queue = append(queue, c.Callee)
+				}
+			}
+		}
+	}
+	seen := map[FuncID]bool{}
+	for _, id := range queue {
+		seen[id] = true
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, c := range m.Funcs[cur].Calls {
+			if c.Deferred {
+				continue // serial callback: leaves lane context
+			}
+			callee, ok := m.Funcs[c.Callee]
+			if !ok || seen[c.Callee] {
+				continue
+			}
+			if kernelPackage(callee.Pkg) {
+				// Calls into the des kernel (LogIntent, the lane push
+				// path) are the sanctioned mailboxes; the kernel's own
+				// hub mutations are its contract, not a lane violation.
+				// Kernel lane roots are still checked — they enter the
+				// BFS as roots, not through this edge.
+				continue
+			}
+			seen[c.Callee] = true
+			m.laneVia[c.Callee] = laneStep{from: cur, site: c.Site}
+			queue = append(queue, c.Callee)
+		}
+	}
+}
+
+// LaneReachable reports whether id executes in lane context.
+func (m *Module) LaneReachable(id FuncID) bool {
+	if m.laneRoot[id] {
+		return true
+	}
+	_, ok := m.laneVia[id]
+	return ok
+}
+
+// LanePath returns the shortest call path from a lane root to id as
+// display names (root first, id last) plus the call sites along it
+// (one per edge). A root returns just its own name and no sites.
+func (m *Module) LanePath(id FuncID) (names []string, sites []Site) {
+	for !m.laneRoot[id] {
+		step, ok := m.laneVia[id]
+		if !ok {
+			return nil, nil
+		}
+		names = append([]string{m.Funcs[id].Name}, names...)
+		sites = append([]Site{step.site}, sites...)
+		id = step.from
+	}
+	names = append([]string{m.Funcs[id].Name}, names...)
+	return names, sites
+}
+
+// Consumes reports whether callee id transitively releases or hands
+// off its param'th parameter. Unknown ids are conservatively consuming
+// (matches the old intraprocedural assumption for unresolvable calls).
+func (m *Module) Consumes(id FuncID, param int) bool {
+	c, ok := m.consumed[id]
+	if !ok || param >= len(c) {
+		return true
+	}
+	return c[param]
+}
+
+// Releases reports whether callee id transitively releases its
+// param'th parameter (false for unknown ids — only a positive release
+// fact earns the stronger wording).
+func (m *Module) Releases(id FuncID, param int) bool {
+	r, ok := m.released[id]
+	if !ok || param >= len(r) {
+		return false
+	}
+	return r[param]
+}
+
+// Func returns the fact record for id, or nil.
+func (m *Module) Func(id FuncID) *FuncInfo { return m.Funcs[id] }
+
+// RenderPath joins a LanePath name list into the diagnostic form.
+func RenderPath(names []string) string { return strings.Join(names, " → ") }
+
+// --- fact cache -------------------------------------------------------
+
+func resolveCacheDir() string {
+	if summaryCacheDir != "" {
+		return summaryCacheDir
+	}
+	if env := os.Getenv("HVDBLINT_CACHE"); env != "" {
+		return env
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(base, "hvdblint")
+}
+
+// packageCacheKey hashes the engine version, import path, and every
+// file's name and contents. Types and imports do not participate: a
+// dependency change that alters resolution also changes this package's
+// analysis inputs only through its own sources' meaning, and the
+// engine records only module-local resolved edges whose targets are
+// re-validated during propagation — an edge into a function that no
+// longer exists simply propagates nothing.
+func packageCacheKey(pkg *Package) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00", summaryEngineVersion, pkg.Types.Path())
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		fmt.Fprintf(h, "%s\x00", name)
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return "" // unreadable source (in-memory test package): no caching
+		}
+		h.Write(data)
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func readFactCache(dir, key string) ([]*FuncInfo, bool) {
+	if key == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var funcs []*FuncInfo
+	if err := json.Unmarshal(data, &funcs); err != nil {
+		return nil, false
+	}
+	return funcs, true
+}
+
+func writeFactCache(dir, key string, funcs []*FuncInfo) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(funcs)
+	if err != nil {
+		return
+	}
+	tmp := filepath.Join(dir, key+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, filepath.Join(dir, key+".json"))
+}

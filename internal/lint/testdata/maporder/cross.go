@@ -1,0 +1,38 @@
+package maporder
+
+// Cross-function cases: the per-element effect escapes through one
+// level of module-local helper into an ordered sink recorded by the
+// helper's summary.
+
+// sendOne wraps the transmission call; its summary records the
+// Broadcast sink.
+func sendOne(s *sim, id int) { s.Broadcast(id, 32) }
+
+// transmitViaHelper is transmitInMapOrder with the send buried one
+// call deep: still flagged, naming the helper.
+func transmitViaHelper(s *sim, members map[int]bool) {
+	for id := range members { // want "calls maporder.sendOne, which calls Broadcast, entering the event/transmission order"
+		sendOne(s, id)
+	}
+}
+
+// countOne only touches an integer counter: no sink in its summary, so
+// routing the element through it stays clean.
+func countOne(tally map[int]int, id int) { tally[id]++ }
+
+func countViaHelper(tally map[int]int, members map[int]bool) {
+	for id := range members {
+		countOne(tally, id)
+	}
+}
+
+// deepSend is two levels down; the follow is deliberately one level
+// only (summaries record *direct* sinks), so this stays unflagged —
+// the depth cutoff is part of the contract, documented in DESIGN.md.
+func deepSend(s *sim, id int) { sendOne(s, id) }
+
+func transmitTwoDeep(s *sim, members map[int]bool) {
+	for id := range members {
+		deepSend(s, id)
+	}
+}

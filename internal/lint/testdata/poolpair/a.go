@@ -8,12 +8,19 @@ type Packet struct {
 	Kind string
 }
 
-type pool struct{}
+type pool struct{ sent []*Packet }
 
-func (p *pool) AcquirePacket() *Packet            { return &Packet{} }
-func (p *pool) ReleasePacket(k *Packet)           {}
-func (p *pool) RetainPacket(k *Packet)            {}
-func (p *pool) Broadcast(from int, k *Packet) int { return 0 }
+func (p *pool) AcquirePacket() *Packet  { return &Packet{} }
+func (p *pool) ReleasePacket(k *Packet) {}
+func (p *pool) RetainPacket(k *Packet)  {}
+
+// Broadcast hands the packet off for transmission, like the real
+// network.Broadcast: its summary records the store, so callers passing
+// a pooled packet here really have transferred ownership.
+func (p *pool) Broadcast(from int, k *Packet) int {
+	p.sent = append(p.sent, k)
+	return 0
+}
 
 // acquireRelease is the canonical balanced round: clean.
 func acquireRelease(p *pool) {

@@ -1,0 +1,60 @@
+package poolpair
+
+// Cross-function cases for the interprocedural summaries: a call is an
+// ownership handoff only when the callee's propagated summary really
+// releases or re-hands-off the parameter.
+
+// inspectOnly reads the packet and drops the reference: its summary
+// neither releases nor hands off k.
+func inspectOnly(k *Packet) int { return k.Size }
+
+// leakViaInspect's only exit for the reference is a call the summary
+// refutes, so the leak is reported at that call — the line where the
+// reference dies.
+func leakViaInspect(p *pool) int {
+	pkt := p.AcquirePacket()
+	return inspectOnly(pkt) // want "passes pooled pkt to poolpair.inspectOnly, whose summary neither"
+}
+
+// releaseHelper releases on the caller's behalf; its summary carries
+// releases-param-1.
+func releaseHelper(p *pool, k *Packet) { p.ReleasePacket(k) }
+
+// cleanViaHelper hands the reference to a releasing callee: clean.
+func cleanViaHelper(p *pool) {
+	pkt := p.AcquirePacket()
+	pkt.Kind = "ctl"
+	releaseHelper(p, pkt)
+}
+
+// releaseDeep only forwards; the release fact propagates bottom-up
+// through two levels.
+func releaseDeep(p *pool, k *Packet) { releaseHelper(p, k) }
+
+// cleanViaDeepHelper: clean through the two-level chain.
+func cleanViaDeepHelper(p *pool) {
+	pkt := p.AcquirePacket()
+	releaseDeep(p, pkt)
+}
+
+// spinA / spinB form a call cycle whose fixed point still finds the
+// release in spinB.
+func spinA(p *pool, k *Packet, n int) {
+	if n > 0 {
+		spinB(p, k, n-1)
+	}
+}
+
+func spinB(p *pool, k *Packet, n int) {
+	if n == 0 {
+		p.ReleasePacket(k)
+		return
+	}
+	spinA(p, k, n-1)
+}
+
+// cleanViaCycle: the reference enters the cycle, which releases it.
+func cleanViaCycle(p *pool) {
+	pkt := p.AcquirePacket()
+	spinA(p, pkt, 3)
+}

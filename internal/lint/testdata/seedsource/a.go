@@ -25,6 +25,21 @@ func wallClockSpan(start time.Time) {
 	time.Sleep(d)          // want "time.Sleep reads the wall clock"
 }
 
+// timerConstructors covers the timer-shaped wall-clock surface: a
+// host timer fires on host time, not simulated time, so each one is as
+// banned as a bare Now read.
+func timerConstructors(stop chan bool) {
+	t := time.NewTimer(time.Second) // want "time.NewTimer reads the wall clock"
+	defer t.Stop()
+	k := time.NewTicker(time.Second) // want "time.NewTicker reads the wall clock"
+	defer k.Stop()
+	<-time.Tick(time.Second)                  // want "time.Tick reads the wall clock"
+	a := time.AfterFunc(time.Second, func() { // want "time.AfterFunc reads the wall clock"
+		stop <- true
+	})
+	defer a.Stop()
+}
+
 // durationType only names the time.Duration type — types are not
 // entropy; clean.
 func durationType(d time.Duration) float64 {

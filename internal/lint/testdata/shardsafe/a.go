@@ -36,6 +36,7 @@ type engine struct{}
 
 func (e *engine) ScheduleLaneDirect(lane int, at float64, fn func(), arg any, u uint64) {}
 func (e *engine) LogIntent(from, to int, at float64, fn func(), arg any, u uint64)      {}
+func (e *engine) ScheduleCall(at float64, fn func(arg any), arg any)                    {}
 
 var sharedTotal uint64
 

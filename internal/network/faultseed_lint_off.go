@@ -1,0 +1,9 @@
+//go:build !faultseed
+
+package network
+
+// FaultSeedLintActive reports whether the deliberately seeded lint
+// faults are compiled in (see faultseed_lint.go). Plain builds say
+// false; internal/lint's fault-seed self-test asserts the tagged load
+// catches both seeded bugs with full call paths.
+const FaultSeedLintActive = false

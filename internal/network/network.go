@@ -937,7 +937,8 @@ func (w *Network) scanNeighbors(ls *laneState, n *Node, now des.Time) {
 	id := n.ID
 	ls.nbrMemoID, ls.nbrMemoAt, ls.nbrMemoVer = id, now, w.topoVer
 	ids, pos := ls.nbrMemoIDs[:0], ls.nbrMemoPos[:0]
-	w.refreshTo(now)
+	w.refreshTo(now) //hvdb:serialonly in-window the barrier has refreshed past the window bound, so the pop loop body never executes; index writes below this edge happen in serial context only
+
 	p := w.truePosAt(ls, id, now)
 	// A node in range r has its anchor position within r+slack of p, so
 	// scanning the cells overlapping that disc and prefiltering on the
